@@ -1,0 +1,260 @@
+// Command ftpim regenerates the paper's tables and figures and runs
+// the ablation studies.
+//
+// Usage:
+//
+//	ftpim table1 [-preset repro] [-dataset c10|c100|both] [-cache DIR] [-csv]
+//	ftpim table2 [-preset repro] [-cache DIR]
+//	ftpim fig2   [-preset repro] [-dataset c10|c100|both] [-cache DIR] [-csv]
+//	ftpim ablation [-preset repro] [-which ladder|resample|crossbar] [-cache DIR]
+//	ftpim device draw|eval|retrain [-psa RATE] [-profile FILE] [-dataset c10]
+//	ftpim all    [-preset repro] [-cache DIR] [-out DIR]
+//
+// The default preset ("repro") is the scaled-down reproduction
+// described in DESIGN.md; "paper" runs the full-scale protocol (slow);
+// "quick" is a smoke run.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"github.com/ftpim/ftpim/internal/core"
+	"github.com/ftpim/ftpim/internal/experiments"
+	"github.com/ftpim/ftpim/internal/fault"
+	"github.com/ftpim/ftpim/internal/report"
+	"github.com/ftpim/ftpim/internal/reram"
+	"github.com/ftpim/ftpim/internal/tensor"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	cmd, args := os.Args[1], os.Args[2:]
+	verb := ""
+	if cmd == "device" && len(args) > 0 && !strings.HasPrefix(args[0], "-") {
+		verb, args = args[0], args[1:]
+	}
+	fs := flag.NewFlagSet(cmd, flag.ExitOnError)
+	preset := fs.String("preset", "repro", "experiment scale: quick, repro, or paper")
+	cache := fs.String("cache", ".cache", "model cache directory (empty to disable)")
+	dataset := fs.String("dataset", "both", "dataset: c10, c100, or both")
+	csv := fs.Bool("csv", false, "emit CSV instead of an aligned table")
+	which := fs.String("which", "ladder", "ablation: ladder, resample, or crossbar")
+	psa := fs.Float64("psa", 0.01, "device: per-cell stuck-at rate when drawing a profile")
+	profile := fs.String("profile", "device.profile", "device: profile file path")
+	outDir := fs.String("out", "results", "output directory for 'all'")
+	verbose := fs.Bool("v", true, "log training progress")
+
+	if err := fs.Parse(args); err != nil {
+		os.Exit(2)
+	}
+	logf := func(string, ...any) {}
+	if *verbose {
+		logf = func(format string, a ...any) { fmt.Fprintf(os.Stderr, format+"\n", a...) }
+	}
+	env := experiments.NewEnv(*preset, *cache, logf)
+
+	datasets := []string{"c10", "c100"}
+	switch *dataset {
+	case "c10":
+		datasets = []string{"c10"}
+	case "c100":
+		datasets = []string{"c100"}
+	case "both":
+	default:
+		fatalf("unknown dataset %q", *dataset)
+	}
+	switch cmd {
+	case "table1":
+		for _, ds := range datasets {
+			emitTable(os.Stdout, experiments.Table1(env, ds).Table(), *csv)
+		}
+	case "table2":
+		emitTable(os.Stdout, experiments.Table2(env).Table(), *csv)
+	case "fig2":
+		for _, ds := range datasets {
+			res := experiments.Figure2(env, ds)
+			if *csv {
+				fmt.Print(res.CSV())
+			} else {
+				fmt.Print(res.Plot())
+			}
+		}
+	case "ablation":
+		runAblation(env, *which)
+	case "device":
+		runDevice(env, verb, *dataset, *psa, *profile)
+	case "all":
+		runAll(env, *outDir)
+	case "help", "-h", "--help":
+		usage()
+	default:
+		fatalf("unknown command %q", cmd)
+	}
+}
+
+func emitTable(w io.Writer, t *report.Table, csv bool) {
+	if csv {
+		t.RenderCSV(w)
+	} else {
+		t.Render(w)
+		fmt.Fprintln(w)
+	}
+}
+
+func runAblation(env *experiments.Env, which string) {
+	switch which {
+	case "ladder":
+		rows := experiments.AblationLadder(env, "c10", 0.1, 4)
+		experiments.LadderTable(rows, 0.1).Render(os.Stdout)
+	case "resample":
+		res := experiments.AblationResample(env, "c10", 0.1)
+		t := report.NewTable("A2: fault resampling granularity at Psa^T=0.1",
+			"variant", "clean acc %", "defect acc % @0.1")
+		t.AddRow("per-epoch", f2(res.PerEpochCleanAcc), f2(res.PerEpochDefectAcc))
+		t.AddRow("per-batch", f2(res.PerBatchCleanAcc), f2(res.PerBatchDefectAcc))
+		t.Render(os.Stdout)
+	case "crossbar":
+		res := experiments.AblationCrossbar(env, "c10", 0.01, reram.DefaultMapOptions())
+		t := report.NewTable("A3: weight-level fault model vs circuit-level crossbar (Psa=0.01)",
+			"measurement", "accuracy %")
+		t.AddRow("digital weights (clean)", f2(res.CleanAcc))
+		t.AddRow("crossbar, quantized, fault-free", f2(res.QuantizedAcc))
+		t.AddRow("weight-level stuck-at injection", f2(res.WeightLevelAcc))
+		t.AddRow("circuit-level per-cell fault maps", f2(res.CircuitAcc))
+		t.Render(os.Stdout)
+	default:
+		fatalf("unknown ablation %q", which)
+	}
+}
+
+// runDevice implements the per-device fleet workflow: draw a defect
+// profile for one manufactured unit (as a march-test station would),
+// archive it, and evaluate or fault-aware-retrain the golden model
+// against it.
+func runDevice(env *experiments.Env, verb, dataset string, psa float64, profile string) {
+	if dataset == "both" {
+		dataset = "c10"
+	}
+	if verb == "" {
+		fatalf("device needs a verb: draw | eval | retrain")
+	}
+	net := env.Pretrained(dataset)
+	_, test := env.Dataset(dataset)
+	weights := core.WeightTensors(net)
+	switch verb {
+	case "draw":
+		rng := tensor.NewRNG(env.Scale.Seed).Stream("device-profile")
+		dm := fault.DrawDeviceMap(rng, fault.ChenModel(), weights, psa)
+		f, err := os.Create(profile)
+		if err != nil {
+			fatalf("create %s: %v", profile, err)
+		}
+		defer f.Close()
+		if err := dm.Save(f); err != nil {
+			fatalf("save profile: %v", err)
+		}
+		fmt.Printf("drew device profile: %d stuck cells at Psa=%g -> %s\n", dm.NumFaults(), psa, profile)
+	case "eval", "retrain":
+		f, err := os.Open(profile)
+		if err != nil {
+			fatalf("open %s: %v (run 'ftpim device draw' first)", profile, err)
+		}
+		dm, err := fault.LoadDeviceMap(f)
+		f.Close()
+		if err != nil {
+			fatalf("load profile: %v", err)
+		}
+		acc := core.EvalOnDevice(net, test, dm, 128)
+		fmt.Printf("golden model on this device: %.2f%%\n", acc*100)
+		if verb == "retrain" {
+			train, _ := env.Dataset(dataset)
+			cfg := core.Config{
+				Epochs: env.Scale.FTEpochs, Batch: env.Scale.Batch,
+				LR: env.Scale.FTLR, Momentum: env.Scale.Momentum,
+				WeightDecay: env.Scale.WeightDecay, Aug: env.Scale.Aug,
+				Seed: env.Scale.Seed + 97,
+			}
+			copyNet := env.Pretrained(dataset) // retrain a copy via snapshot
+			snap := copyNet.Snapshot()
+			core.FaultAwareRetrain(copyNet, train, cfg, dm)
+			after := core.EvalOnDevice(copyNet, test, dm, 128)
+			if err := copyNet.Restore(snap); err != nil {
+				fatalf("restore golden model: %v", err)
+			}
+			fmt.Printf("after fault-aware retraining [5]:  %.2f%%\n", after*100)
+		}
+	default:
+		fatalf("unknown device verb %q", verb)
+	}
+}
+
+func runAll(env *experiments.Env, outDir string) {
+	if err := os.MkdirAll(outDir, 0o755); err != nil {
+		fatalf("mkdir %s: %v", outDir, err)
+	}
+	write := func(name, content string) {
+		path := filepath.Join(outDir, name)
+		if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+			fatalf("write %s: %v", path, err)
+		}
+		fmt.Printf("wrote %s\n", path)
+	}
+	for _, ds := range []string{"c10", "c100"} {
+		t1 := experiments.Table1(env, ds)
+		var txt, csv strings.Builder
+		t1.Table().Render(&txt)
+		t1.Table().RenderCSV(&csv)
+		write("table1-"+ds+".txt", txt.String())
+		write("table1-"+ds+".csv", csv.String())
+
+		f2r := experiments.Figure2(env, ds)
+		write("figure2-"+ds+".csv", f2r.CSV())
+		write("figure2-"+ds+".txt", f2r.Plot())
+	}
+	t2 := experiments.Table2(env)
+	var txt, csv strings.Builder
+	t2.Table().Render(&txt)
+	t2.Table().RenderCSV(&csv)
+	write("table2.txt", txt.String())
+	write("table2.csv", csv.String())
+
+	var ab strings.Builder
+	rows := experiments.AblationLadder(env, "c10", 0.1, 4)
+	experiments.LadderTable(rows, 0.1).Render(&ab)
+	res := experiments.AblationResample(env, "c10", 0.1)
+	fmt.Fprintf(&ab, "\nA2: per-epoch clean %.2f%% defect %.2f%% | per-batch clean %.2f%% defect %.2f%%\n",
+		res.PerEpochCleanAcc, res.PerEpochDefectAcc, res.PerBatchCleanAcc, res.PerBatchDefectAcc)
+	cb := experiments.AblationCrossbar(env, "c10", 0.01, reram.DefaultMapOptions())
+	fmt.Fprintf(&ab, "\nA3 @Psa=0.01: clean %.2f%% | quantized %.2f%% | weight-level %.2f%% | circuit %.2f%%\n",
+		cb.CleanAcc, cb.QuantizedAcc, cb.WeightLevelAcc, cb.CircuitAcc)
+	write("ablations.txt", ab.String())
+}
+
+func f2(v float64) string { return fmt.Sprintf("%.2f", v) }
+
+func fatalf(format string, a ...any) {
+	fmt.Fprintf(os.Stderr, "ftpim: "+format+"\n", a...)
+	os.Exit(1)
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `ftpim — fault-tolerant DNNs for ReRAM PIM: experiment runner
+
+commands:
+  table1    regenerate Table I (defect accuracy vs testing fault rate)
+  table2    regenerate Table II (Stability Score, dense vs ADMM-pruned)
+  fig2      regenerate Figure 2 (pruned-model fragility, no FT training)
+  ablation  run an ablation study (-which ladder|resample|crossbar)
+  device    per-device workflow: draw | eval | retrain (-psa, -profile)
+  all       regenerate everything into -out DIR
+
+common flags: -preset quick|repro|paper   -cache DIR   -dataset c10|c100|both`)
+}

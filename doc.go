@@ -1,0 +1,33 @@
+// Package ftpim is a from-scratch Go reproduction of "Fault-Tolerant
+// Deep Neural Networks for Processing-In-Memory based Autonomous Edge
+// Systems" (Wang, Yuan, Ma, Li, Lin, Kailkhura — DATE 2022).
+//
+// ReRAM crossbar accelerators store DNN weights as cell conductances;
+// stuck-at faults (stuck-off SA0 / stuck-on SA1 at the empirical ratio
+// 1.75:9.04) deviate the deployed weights and collapse accuracy. The
+// paper's remedy — implemented in internal/core — is stochastic
+// fault-tolerant training: fuse freshly sampled stuck-at faults into
+// the weights every epoch during retraining, either at a fixed target
+// rate (one-shot) or up an ascending rate ladder (progressive), plus
+// the Stability Score metric SS = AccRetrain/(AccPretrain−AccDefect).
+//
+// The library layers, bottom-up:
+//
+//	internal/tensor      float32 tensors, GEMM, im2col
+//	internal/nn          layers with manual backprop (conv, BN, residual blocks)
+//	internal/optim       SGD + momentum, cosine/step LR schedules
+//	internal/data        synthetic CIFAR-like generator + CIFAR binary loader
+//	internal/models      CIFAR ResNet-20/32 family, SimpleCNN, MLP
+//	internal/fault       weight-level stuck-at fault model (the paper's)
+//	internal/reram       circuit-level crossbar simulator, march test, repair
+//	internal/prune       magnitude + ADMM pruning
+//	internal/core        stochastic FT training, defect eval, Stability Score
+//	internal/metrics     accuracy, summaries, SS
+//	internal/report      tables, CSV, ASCII plots
+//	internal/experiments Table I / Table II / Figure 2 / ablation harness
+//
+// The cmd/ftpim binary regenerates every table and figure; the
+// benchmarks in bench_test.go exercise one experiment per paper
+// artifact at the "quick" preset. See DESIGN.md for the system
+// inventory and EXPERIMENTS.md for paper-vs-measured results.
+package ftpim

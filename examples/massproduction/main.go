@@ -1,0 +1,104 @@
+// Massproduction simulates the paper's motivating scenario: a fleet of
+// mass-produced edge devices, each with its own random stuck-at defect
+// pattern. It compares three deployment strategies across the fleet:
+//
+//   - baseline: ship the pretrained model as-is;
+//   - device-specific fault-aware retraining [5]: retrain the model
+//     separately for every single device (accurate but O(fleet) cost);
+//   - stochastic FT training (this paper): retrain once, ship to all.
+//
+// Run with: go run ./examples/massproduction
+package main
+
+import (
+	"fmt"
+
+	"github.com/ftpim/ftpim/internal/core"
+	"github.com/ftpim/ftpim/internal/data"
+	"github.com/ftpim/ftpim/internal/fault"
+	"github.com/ftpim/ftpim/internal/metrics"
+	"github.com/ftpim/ftpim/internal/models"
+	"github.com/ftpim/ftpim/internal/nn"
+	"github.com/ftpim/ftpim/internal/tensor"
+)
+
+const (
+	fleetSize = 12
+	psaDevice = 0.05 // per-cell stuck-at rate of each manufactured device
+)
+
+func main() {
+	cfg := data.SynthConfig{
+		Classes: 8, TrainPer: 60, TestPer: 25,
+		Channels: 3, Size: 10, Basis: 16, CoefNoise: 0.18,
+		NoiseStd: 0.4, ShiftMax: 1, JitterStd: 0.15, Seed: 11,
+	}
+	train, test := data.Generate(cfg)
+
+	build := func() *nn.Network {
+		return models.BuildResNet(models.ResNetConfig{
+			Depth: 8, Classes: 8, InChannels: 3, WidthMult: 0.5, Seed: 42,
+		})
+	}
+
+	trainCfg := core.Config{
+		Epochs: 10, Batch: 32, LR: 0.08, Momentum: 0.9, WeightDecay: 5e-4,
+		Aug: data.Augment{Flip: true, ShiftMax: 1}, Seed: 1,
+	}
+
+	// One pretrained "golden" model.
+	golden := build()
+	core.Train(golden, train, trainCfg)
+	fmt.Printf("golden model clean accuracy: %.2f%%\n", core.EvalClean(golden, test, 128)*100)
+
+	// One FT model, trained once for the whole fleet.
+	ft := build()
+	mustRestore(ft, golden)
+	ftCfg := trainCfg
+	ftCfg.LR = 0.03
+	ftCfg.Epochs = 20
+	core.OneShotFT(ft, train, ftCfg, 0.1)
+	fmt.Printf("FT model clean accuracy:     %.2f%%\n\n", core.EvalClean(ft, test, 128)*100)
+
+	// The fleet: every device gets its own fixed defect map.
+	rng := tensor.NewRNG(777)
+	var accBase, accFT, accDev []float64
+	retrainEpochs := 0
+	for d := 0; d < fleetSize; d++ {
+		dm := fault.DrawDeviceMap(rng.StreamN("device", d), fault.ChenModel(),
+			core.WeightTensors(golden), psaDevice)
+
+		accBase = append(accBase, core.EvalOnDevice(golden, test, dm, 128)*100)
+		accFT = append(accFT, core.EvalOnDevice(ft, test, dm, 128)*100)
+
+		// Device-specific retraining: a fresh copy per device.
+		dev := build()
+		mustRestore(dev, golden)
+		devCfg := trainCfg
+		devCfg.LR = 0.04
+		devCfg.Epochs = 6
+		core.FaultAwareRetrain(dev, train, devCfg, dm)
+		retrainEpochs += devCfg.Epochs
+		accDev = append(accDev, core.EvalOnDevice(dev, test, dm, 128)*100)
+	}
+
+	report := func(name string, accs []float64, cost string) {
+		s := metrics.Summarize(accs)
+		fmt.Printf("%-28s mean %6.2f%%  min %6.2f%%  max %6.2f%%  (training cost: %s)\n",
+			name, s.Mean, s.Min, s.Max, cost)
+	}
+	fmt.Printf("fleet of %d devices, per-cell stuck-at rate %g:\n", fleetSize, psaDevice)
+	report("baseline (ship as-is)", accBase, "0")
+	report("device-specific retrain [5]", accDev, fmt.Sprintf("%d epochs (%d per device)", retrainEpochs, retrainEpochs/fleetSize))
+	report("stochastic FT (this paper)", accFT, "20 epochs, once")
+
+	fmt.Println("\nDevice-specific retraining is the accuracy ceiling but costs a")
+	fmt.Println("training run per manufactured unit; stochastic FT training closes")
+	fmt.Println("much of the gap to it at a fleet-independent, one-off cost.")
+}
+
+func mustRestore(dst, src *nn.Network) {
+	if err := dst.Restore(src.Snapshot()); err != nil {
+		panic(err)
+	}
+}

@@ -1,0 +1,106 @@
+// Prunededge reproduces the paper's §IV-C story at example scale:
+// weight pruning makes models *more* fragile under stuck-at faults
+// (sparser models have less redundancy, while faults strike every
+// crossbar cell regardless), and stochastic FT training wins the
+// robustness back. It prints a miniature Table II.
+//
+// Run with: go run ./examples/prunededge
+package main
+
+import (
+	"fmt"
+	"math"
+	"os"
+
+	"github.com/ftpim/ftpim/internal/core"
+	"github.com/ftpim/ftpim/internal/data"
+	"github.com/ftpim/ftpim/internal/metrics"
+	"github.com/ftpim/ftpim/internal/models"
+	"github.com/ftpim/ftpim/internal/nn"
+	"github.com/ftpim/ftpim/internal/prune"
+	"github.com/ftpim/ftpim/internal/report"
+)
+
+func main() {
+	cfg := data.SynthConfig{
+		Classes: 8, TrainPer: 60, TestPer: 25,
+		Channels: 3, Size: 10, Basis: 16, CoefNoise: 0.28,
+		NoiseStd: 0.4, ShiftMax: 1, JitterStd: 0.15, Seed: 13,
+	}
+	train, test := data.Generate(cfg)
+
+	build := func() *nn.Network {
+		return models.BuildResNet(models.ResNetConfig{
+			Depth: 8, Classes: 8, InChannels: 3, WidthMult: 0.5, Seed: 42,
+		})
+	}
+	trainCfg := core.Config{
+		Epochs: 10, Batch: 32, LR: 0.08, Momentum: 0.9, WeightDecay: 5e-4,
+		Aug: data.Augment{Flip: true, ShiftMax: 1}, Seed: 1,
+	}
+
+	dense := build()
+	core.Train(dense, train, trainCfg)
+	accPre := core.EvalClean(dense, test, 128)
+	fmt.Printf("dense pretrained accuracy: %.2f%%\n", accPre*100)
+
+	// ADMM pruning at 60% sparsity, then fine-tune.
+	pruned := build()
+	if err := pruned.Restore(dense.Snapshot()); err != nil {
+		panic(err)
+	}
+	admm := prune.NewADMM(pruned.WeightParams(), 0.6, 5e-3)
+	admmCfg := trainCfg
+	admmCfg.LR = 0.04
+	admmCfg.Epochs = 8
+	admmCfg.ADMM = admm
+	admmCfg.ADMMInterval = 2
+	core.Train(pruned, train, admmCfg)
+	admm.Finalize()
+	ftn := trainCfg
+	ftn.LR = 0.04
+	ftn.Epochs = 6
+	core.Train(pruned, train, ftn)
+	accPruned := core.EvalClean(pruned, test, 128)
+	fmt.Printf("ADMM-pruned (%.0f%% sparse) accuracy: %.2f%%\n\n", pruned.Sparsity()*100, accPruned*100)
+
+	// FT-retrain the pruned model (masks are preserved by the trainer).
+	prunedFT := build()
+	if err := prunedFT.Restore(pruned.Snapshot()); err != nil {
+		panic(err)
+	}
+	ftCfg := trainCfg
+	ftCfg.LR = 0.03
+	ftCfg.Epochs = 16
+	core.OneShotFT(prunedFT, train, ftCfg, 0.05)
+
+	// Compare fragility.
+	ev := core.DefectEval{Runs: 20, Batch: 128, Seed: 5}
+	rates := []float64{0.02, 0.05, 0.1}
+	t := report.NewTable("mini Table II: defect accuracy % (and SS) by model",
+		"model", "sparsity", "clean", "d@0.02", "d@0.05", "d@0.1", "SS(0.05)")
+	row := func(name string, net *nn.Network, base float64) {
+		clean := core.EvalClean(net, test, 128)
+		var ds []float64
+		for _, r := range rates {
+			ds = append(ds, core.EvalDefect(net, test, r, ev).Mean)
+		}
+		ss := metrics.StabilityScore(clean*100, base*100, ds[1]*100)
+		ssStr := fmt.Sprintf("%.2f", ss)
+		if math.IsInf(ss, 1) {
+			ssStr = "inf"
+		}
+		t.AddRow(name, fmt.Sprintf("%.0f%%", net.Sparsity()*100),
+			fmt.Sprintf("%.2f", clean*100),
+			fmt.Sprintf("%.2f", ds[0]*100), fmt.Sprintf("%.2f", ds[1]*100), fmt.Sprintf("%.2f", ds[2]*100),
+			ssStr)
+	}
+	row("dense", dense, accPre)
+	row("ADMM-pruned", pruned, accPruned)
+	row("ADMM-pruned + FT(0.05)", prunedFT, accPruned)
+	t.Render(os.Stdout)
+
+	fmt.Println("\nPruned models fall off the cliff earlier than dense ones;")
+	fmt.Println("stochastic FT training buys robustness back at moderate fault")
+	fmt.Println("rates while keeping the compression (sparsity unchanged).")
+}

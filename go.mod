@@ -1,0 +1,3 @@
+module github.com/ftpim/ftpim
+
+go 1.22

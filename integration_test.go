@@ -1,0 +1,195 @@
+package ftpim
+
+// End-to-end integration tests: the full pipeline (data → model →
+// pretrain → fault injection → FT retraining → defect evaluation →
+// Stability Score → crossbar deployment) exercised through the public
+// experiment harness at quick scale.
+
+import (
+	"math"
+	"testing"
+
+	"github.com/ftpim/ftpim/internal/core"
+	"github.com/ftpim/ftpim/internal/data"
+	"github.com/ftpim/ftpim/internal/experiments"
+	"github.com/ftpim/ftpim/internal/fault"
+	"github.com/ftpim/ftpim/internal/metrics"
+	"github.com/ftpim/ftpim/internal/models"
+	"github.com/ftpim/ftpim/internal/prune"
+	"github.com/ftpim/ftpim/internal/reram"
+	"github.com/ftpim/ftpim/internal/tensor"
+)
+
+// TestEndToEndFigure1Story walks the paper's Figure 1 pipeline and
+// checks every causal link at small scale.
+func TestEndToEndFigure1Story(t *testing.T) {
+	cfg := data.SynthConfig{
+		Classes: 6, TrainPer: 40, TestPer: 20,
+		Channels: 3, Size: 8, Basis: 12, CoefNoise: 0.1,
+		NoiseStd: 0.3, ShiftMax: 1, JitterStd: 0.1, Seed: 21,
+	}
+	train, test := data.Generate(cfg)
+	net := models.BuildResNet(models.ResNetConfig{Depth: 8, Classes: 6, InChannels: 3, WidthMult: 0.25, Seed: 42})
+	tc := core.Config{Epochs: 8, Batch: 16, LR: 0.08, Momentum: 0.9, WeightDecay: 5e-4,
+		Aug: data.Augment{Flip: true, ShiftMax: 1}, Seed: 1}
+
+	// ① Pretraining beats chance comfortably.
+	core.Train(net, train, tc)
+	accPre := core.EvalClean(net, test, 64)
+	if accPre < 2.0/6 {
+		t.Fatalf("pretrain acc %.3f too low", accPre)
+	}
+
+	// ③ Faults at a harsh rate collapse accuracy.
+	ev := core.DefectEval{Runs: 10, Batch: 64, Seed: 5}
+	const psa = 0.1
+	collapsed := core.EvalDefect(net, test, psa, ev).Mean
+	if collapsed >= accPre-0.1 {
+		t.Fatalf("10%% faults should hurt: %.3f vs clean %.3f", collapsed, accPre)
+	}
+
+	// ② FT retraining keeps reasonable ideal accuracy...
+	ftc := tc
+	ftc.LR = 0.04
+	ftc.Epochs = 10
+	core.OneShotFT(net, train, ftc, psa)
+	accRe := core.EvalClean(net, test, 64)
+	if accRe < accPre-0.45 {
+		t.Fatalf("FT ideal accuracy collapsed: %.3f vs %.3f", accRe, accPre)
+	}
+	// ...and ③' recovers defect accuracy.
+	recovered := core.EvalDefect(net, test, psa, ev).Mean
+	if recovered <= collapsed {
+		t.Fatalf("FT should beat baseline under faults: %.3f vs %.3f", recovered, collapsed)
+	}
+	// Stability Score improves.
+	ssBase := metrics.StabilityScore(accPre, accPre, collapsed)
+	ssFT := metrics.StabilityScore(accRe, accPre, recovered)
+	if !math.IsInf(ssFT, 1) && ssFT <= ssBase {
+		t.Fatalf("SS should improve: %.2f -> %.2f", ssBase, ssFT)
+	}
+}
+
+// TestEndToEndCrossbarDeployment checks the digital → analog → faulty
+// → repaired accuracy chain on the circuit simulator.
+func TestEndToEndCrossbarDeployment(t *testing.T) {
+	cfg := data.SynthConfig{
+		Classes: 5, TrainPer: 30, TestPer: 16,
+		Channels: 3, Size: 8, Basis: 10, CoefNoise: 0.1,
+		NoiseStd: 0.3, ShiftMax: 1, JitterStd: 0.1, Seed: 22,
+	}
+	train, test := data.Generate(cfg)
+	net := models.BuildSimpleCNN(models.SimpleCNNConfig{InChannels: 3, Width: 4, Classes: 5, Seed: 2})
+	core.Train(net, train, core.Config{Epochs: 6, Batch: 16, LR: 0.05, Momentum: 0.9, Seed: 3})
+	clean := metrics.Evaluate(net, test, 64)
+
+	opts := reram.MapOptions{TileRows: 32, TileCols: 32, Levels: 64, Gmin: 0.1, Gmax: 10}
+	mn := reram.MapNetwork(net, opts)
+
+	// 6-bit cells, no faults: accuracy must be preserved.
+	undo := mn.ApplyEffectiveWeights()
+	analog := metrics.Evaluate(net, test, 64)
+	undo()
+	if math.Abs(analog-clean) > 0.05 {
+		t.Fatalf("6-bit analog deployment lost accuracy: %.3f vs %.3f", analog, clean)
+	}
+
+	// Heavy faults hurt; march-test + repair with generous spares heals.
+	rng := tensor.NewRNG(9)
+	mn.InjectFaults(rng.Stream("fab"), fault.ChenModel(), 0.05)
+	undo = mn.ApplyEffectiveWeights()
+	faulty := metrics.Evaluate(net, test, 64)
+	undo()
+
+	for _, mat := range mn.Mats {
+		det := reram.MarchTestMatrix(mat, 1, rng.Stream("march"))
+		reram.RepairColumns(mat, det, 32, 0, rng.Stream("spare"))
+	}
+	if got := mn.NumFaults(); got != 0 {
+		t.Fatalf("full repair with ample spares should clear all faults, %d left", got)
+	}
+	undo = mn.ApplyEffectiveWeights()
+	repaired := metrics.Evaluate(net, test, 64)
+	undo()
+	if repaired < faulty {
+		t.Fatalf("repair made things worse: %.3f -> %.3f", faulty, repaired)
+	}
+	if math.Abs(repaired-analog) > 0.05 {
+		t.Fatalf("fully repaired chip should match fault-free analog: %.3f vs %.3f", repaired, analog)
+	}
+}
+
+// TestEndToEndPrunedFTPipeline prunes, verifies fragility, FT-retrains
+// and verifies the sparsity is preserved throughout.
+func TestEndToEndPrunedFTPipeline(t *testing.T) {
+	cfg := data.SynthConfig{
+		Classes: 5, TrainPer: 40, TestPer: 16,
+		Channels: 3, Size: 8, Basis: 10, CoefNoise: 0.1,
+		NoiseStd: 0.3, ShiftMax: 1, JitterStd: 0.1, Seed: 23,
+	}
+	train, test := data.Generate(cfg)
+	net := models.BuildSimpleCNN(models.SimpleCNNConfig{InChannels: 3, Width: 6, Classes: 5, Seed: 4})
+	tc := core.Config{Epochs: 8, Batch: 16, LR: 0.05, Momentum: 0.9, WeightDecay: 1e-4, Seed: 5}
+	core.Train(net, train, tc)
+
+	admm := prune.NewADMM(net.WeightParams(), 0.6, 0.01)
+	ac := tc
+	ac.Epochs = 6
+	ac.ADMM = admm
+	ac.ADMMInterval = 2
+	core.Train(net, train, ac)
+	admm.Finalize()
+	if sp := net.Sparsity(); math.Abs(sp-0.6) > 0.05 {
+		t.Fatalf("sparsity %.3f after ADMM", sp)
+	}
+
+	ftc := tc
+	ftc.LR = 0.02
+	ftc.Epochs = 8
+	core.OneShotFT(net, train, ftc, 0.1)
+	if sp := net.Sparsity(); math.Abs(sp-0.6) > 0.05 {
+		t.Fatalf("FT training must preserve sparsity, got %.3f", sp)
+	}
+	if acc := metrics.Evaluate(net, test, 64); acc < 1.5/5 {
+		t.Fatalf("pruned+FT accuracy %.3f too low", acc)
+	}
+	// Pruned weights stay exactly zero even after everything.
+	for _, p := range net.WeightParams() {
+		if p.Mask == nil {
+			continue
+		}
+		for i, m := range p.Mask.Data() {
+			if m == 0 && p.W.Data()[i] != 0 {
+				t.Fatal("pruned weight escaped its mask")
+			}
+		}
+	}
+}
+
+// TestQuickPresetFullSuite runs every experiment artifact at the quick
+// preset in one process — the closest thing to `ftpim all` in a test.
+func TestQuickPresetFullSuite(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full suite is a few seconds; skipped in -short")
+	}
+	e := experiments.NewEnv("quick", t.TempDir(), nil)
+	t1 := experiments.Table1(e, "c10")
+	if t1.PretrainAcc <= 0 {
+		t.Fatal("table1 broken")
+	}
+	f2 := experiments.Figure2(e, "c10")
+	if len(f2.Series) == 0 {
+		t.Fatal("figure2 broken")
+	}
+	t2 := experiments.Table2(e)
+	if len(t2.Sections) != 2 {
+		t.Fatal("table2 broken")
+	}
+	// Cross-artifact consistency: Figure 2's dense series at rate 0
+	// equals Table 1's baseline clean accuracy (same cached model, same
+	// eval batch).
+	if math.Abs(f2.Series[0].Y[0]-t1.Rows[0].Accs[0]) > 1.5 {
+		t.Fatalf("figure2 dense (%.2f) and table1 baseline (%.2f) disagree at rate 0",
+			f2.Series[0].Y[0], t1.Rows[0].Accs[0])
+	}
+}

@@ -1,0 +1,409 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"github.com/ftpim/ftpim/internal/data"
+	"github.com/ftpim/ftpim/internal/fault"
+	"github.com/ftpim/ftpim/internal/metrics"
+	"github.com/ftpim/ftpim/internal/models"
+	"github.com/ftpim/ftpim/internal/nn"
+	"github.com/ftpim/ftpim/internal/prune"
+	"github.com/ftpim/ftpim/internal/tensor"
+)
+
+// testTask returns a small, easily learnable task and a fresh model.
+func testTask() (*data.Dataset, *data.Dataset) {
+	cfg := data.SynthConfig{
+		Classes: 4, TrainPer: 40, TestPer: 25,
+		Channels: 3, Size: 8, Basis: 10,
+		NoiseStd: 0.25, ShiftMax: 1, JitterStd: 0.1,
+		Seed: 31,
+	}
+	return data.Generate(cfg)
+}
+
+func testModel(seed uint64) *nn.Network {
+	return models.BuildSimpleCNN(models.SimpleCNNConfig{InChannels: 3, Width: 4, Classes: 4, Seed: seed})
+}
+
+func quickCfg() Config {
+	return Config{
+		Epochs: 8, Batch: 16, LR: 0.05, Momentum: 0.9, WeightDecay: 1e-4,
+		Aug:  data.Augment{Flip: true, ShiftMax: 1},
+		Seed: 5,
+	}
+}
+
+func TestTrainLearns(t *testing.T) {
+	train, test := testTask()
+	net := testModel(1)
+	before := metrics.Evaluate(net, test, 64)
+	res := Train(net, train, quickCfg())
+	after := metrics.Evaluate(net, test, 64)
+	if after < 0.7 {
+		t.Fatalf("test accuracy %.3f after training (was %.3f) — did not learn", after, before)
+	}
+	if res.History[len(res.History)-1].Loss >= res.History[0].Loss {
+		t.Fatal("loss did not decrease")
+	}
+	if res.FinalLoss() != res.History[len(res.History)-1].Loss {
+		t.Fatal("FinalLoss accessor wrong")
+	}
+}
+
+func TestTrainDeterministic(t *testing.T) {
+	train, _ := testTask()
+	cfg := quickCfg()
+	cfg.Epochs = 3
+	a, b := testModel(1), testModel(1)
+	ra := Train(a, train, cfg)
+	rb := Train(b, train, cfg)
+	for i := range ra.History {
+		if ra.History[i].Loss != rb.History[i].Loss {
+			t.Fatal("same seed must reproduce the training trace exactly")
+		}
+	}
+	pa, pb := a.Params(), b.Params()
+	for i := range pa {
+		if !pa[i].W.Equal(pb[i].W) {
+			t.Fatal("weights diverged across identical runs")
+		}
+	}
+}
+
+func TestTrainBadConfigPanics(t *testing.T) {
+	train, _ := testTask()
+	for _, cfg := range []Config{
+		{Epochs: 0, Batch: 8, LR: 0.1},
+		{Epochs: 1, Batch: 0, LR: 0.1},
+		{Epochs: 1, Batch: 8, LR: 0},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("expected panic for %+v", cfg)
+				}
+			}()
+			Train(testModel(1), train, cfg)
+		}()
+	}
+}
+
+func TestFTTrainingLearnsUnderFaults(t *testing.T) {
+	train, test := testTask()
+	net := testModel(2)
+	cfg := quickCfg()
+	OneShotFT(net, train, cfg, 0.05)
+	acc := metrics.Evaluate(net, test, 64)
+	if acc < 0.6 {
+		t.Fatalf("FT training collapsed: clean acc %.3f", acc)
+	}
+}
+
+// TestFTBeatsBaselineUnderFaults is the paper's headline claim at unit
+// scale: under a substantial fault rate, the FT-retrained model must be
+// clearly more accurate than the plain pretrained model. Per Algorithm
+// 1, FT training starts from a well-trained model.
+func TestFTBeatsBaselineUnderFaults(t *testing.T) {
+	train, test := testTask()
+	psaTest := 0.2
+	ev := DefectEval{Runs: 10, Batch: 64, Seed: 77}
+
+	base := testModel(3)
+	Train(base, train, quickCfg())
+	baseDefect := EvalDefect(base, test, psaTest, ev).Mean
+
+	ft := testModel(3)
+	if err := ft.Restore(base.Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	OneShotFT(ft, train, quickCfg(), 0.2)
+	ftDefect := EvalDefect(ft, test, psaTest, ev).Mean
+
+	if ftDefect <= baseDefect+0.05 {
+		t.Fatalf("FT model (%.3f) should clearly beat baseline (%.3f) under %.0f%% faults",
+			ftDefect, baseDefect, psaTest*100)
+	}
+}
+
+func TestEvalDefectRestoresWeights(t *testing.T) {
+	train, test := testTask()
+	net := testModel(4)
+	cfg := quickCfg()
+	cfg.Epochs = 2
+	Train(net, train, cfg)
+	snap := net.Snapshot()
+	EvalDefect(net, test, 0.1, DefectEval{Runs: 3, Batch: 64, Seed: 9})
+	after := net.Snapshot()
+	if string(snap) != string(after) {
+		t.Fatal("EvalDefect must leave weights untouched")
+	}
+}
+
+func TestEvalDefectZeroRateEqualsClean(t *testing.T) {
+	train, test := testTask()
+	net := testModel(5)
+	cfg := quickCfg()
+	cfg.Epochs = 2
+	Train(net, train, cfg)
+	clean := EvalClean(net, test, 64)
+	s := EvalDefect(net, test, 0, DefectEval{Runs: 5, Batch: 64})
+	if s.Mean != clean || s.N != 1 || s.Std != 0 {
+		t.Fatalf("zero-rate defect eval should be one clean pass: %+v vs %v", s, clean)
+	}
+}
+
+func TestEvalDefectDegradesWithRate(t *testing.T) {
+	train, test := testTask()
+	net := testModel(6)
+	Train(net, train, quickCfg())
+	ev := DefectEval{Runs: 6, Batch: 64, Seed: 3}
+	low := EvalDefect(net, test, 0.005, ev).Mean
+	high := EvalDefect(net, test, 0.3, ev).Mean
+	if high >= low {
+		t.Fatalf("accuracy should degrade with fault rate: %.3f @0.005 vs %.3f @0.3", low, high)
+	}
+}
+
+func TestEvalDefectSweep(t *testing.T) {
+	train, test := testTask()
+	net := testModel(7)
+	cfg := quickCfg()
+	cfg.Epochs = 2
+	Train(net, train, cfg)
+	rates := []float64{0, 0.01, 0.2}
+	sums := EvalDefectSweep(net, test, rates, DefectEval{Runs: 3, Batch: 64})
+	if len(sums) != 3 {
+		t.Fatal("sweep length mismatch")
+	}
+	if sums[0].Mean <= sums[2].Mean {
+		t.Fatalf("sweep should degrade: %v", sums)
+	}
+}
+
+func TestLadder(t *testing.T) {
+	l := Ladder(0.05, 10)
+	want := []float64{0.005, 0.01, 0.02, 0.05}
+	if len(l) != len(want) {
+		t.Fatalf("ladder %v", l)
+	}
+	for i := range want {
+		if l[i] != want[i] {
+			t.Fatalf("ladder %v want %v", l, want)
+		}
+	}
+	// maxRungs truncation keeps the rungs nearest the target.
+	l = Ladder(0.1, 3)
+	want = []float64{0.02, 0.05, 0.1}
+	for i := range want {
+		if l[i] != want[i] {
+			t.Fatalf("truncated ladder %v want %v", l, want)
+		}
+	}
+	// Non-candidate target still ends the ladder.
+	l = Ladder(0.03, 3)
+	if l[len(l)-1] != 0.03 {
+		t.Fatalf("ladder must end at target: %v", l)
+	}
+	for i := 1; i < len(l); i++ {
+		if l[i] <= l[i-1] {
+			t.Fatalf("ladder not ascending: %v", l)
+		}
+	}
+}
+
+func TestProgressiveFTHistoryAndLearning(t *testing.T) {
+	train, test := testTask()
+	net := testModel(8)
+	cfg := quickCfg()
+	res := ProgressiveFT(net, train, cfg, []float64{0.01, 0.05}, 3)
+	if len(res.History) != 6 {
+		t.Fatalf("history length %d, want 6", len(res.History))
+	}
+	if res.History[0].FaultRate != 0.01 || res.History[5].FaultRate != 0.05 {
+		t.Fatal("stage rates wrong")
+	}
+	for i, st := range res.History {
+		if st.Epoch != i {
+			t.Fatal("epoch renumbering wrong")
+		}
+	}
+	if acc := metrics.Evaluate(net, test, 64); acc < 0.55 {
+		t.Fatalf("progressive FT collapsed: %.3f", acc)
+	}
+}
+
+func TestProgressiveEmptyLadderPanics(t *testing.T) {
+	train, _ := testTask()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	ProgressiveFT(testModel(1), train, quickCfg(), nil, 1)
+}
+
+func TestFaultAwareRetrainHelpsOwnDeviceOnly(t *testing.T) {
+	train, test := testTask()
+	net := testModel(9)
+	Train(net, train, quickCfg())
+
+	rng := tensor.NewRNG(123)
+	weights := WeightTensors(net)
+	dev := fault.DrawDeviceMap(rng.Stream("devA"), fault.ChenModel(), weights, 0.08)
+
+	before := EvalOnDevice(net, test, dev, 64)
+	cfg := quickCfg()
+	cfg.Epochs = 6
+	FaultAwareRetrain(net, train, cfg, dev)
+	after := EvalOnDevice(net, test, dev, 64)
+	if after <= before {
+		t.Fatalf("device-specific retraining should help its own device: %.3f -> %.3f", before, after)
+	}
+}
+
+func TestEvalOnDeviceRestores(t *testing.T) {
+	train, test := testTask()
+	net := testModel(10)
+	cfg := quickCfg()
+	cfg.Epochs = 2
+	Train(net, train, cfg)
+	snap := net.Snapshot()
+	dev := fault.DrawDeviceMap(tensor.NewRNG(5).Stream("d"), fault.ChenModel(), WeightTensors(net), 0.1)
+	EvalOnDevice(net, test, dev, 64)
+	if string(net.Snapshot()) != string(snap) {
+		t.Fatal("EvalOnDevice must restore weights")
+	}
+}
+
+func TestADMMTrainingProducesSparseAccurateModel(t *testing.T) {
+	train, test := testTask()
+	net := testModel(11)
+	Train(net, train, quickCfg()) // pretrain
+
+	admm := prune.NewADMM(net.WeightParams(), 0.5, 0.01)
+	cfg := quickCfg()
+	cfg.Epochs = 6
+	cfg.ADMM = admm
+	cfg.ADMMInterval = 2
+	Train(net, train, cfg)
+	admm.Finalize()
+
+	if sp := net.Sparsity(); math.Abs(sp-0.5) > 0.05 {
+		t.Fatalf("sparsity %.3f, want ≈0.5", sp)
+	}
+	// Fine-tune with masks fixed.
+	ft := quickCfg()
+	ft.Epochs = 4
+	Train(net, train, ft)
+	if sp := net.Sparsity(); math.Abs(sp-0.5) > 0.05 {
+		t.Fatalf("fine-tuning must preserve sparsity, got %.3f", sp)
+	}
+	if acc := metrics.Evaluate(net, test, 64); acc < 0.6 {
+		t.Fatalf("pruned model accuracy %.3f too low", acc)
+	}
+}
+
+func TestStabilityReportOrdering(t *testing.T) {
+	train, test := testTask()
+	base := testModel(12)
+	Train(base, train, quickCfg())
+	accPre := EvalClean(base, test, 64)
+
+	ev := DefectEval{Runs: 20, Batch: 64, Seed: 11}
+	rates := []float64{0.1, 0.2}
+	repBase := Stability(base, test, accPre, rates, ev)
+
+	ft := testModel(12)
+	if err := ft.Restore(base.Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	ftCfg := quickCfg()
+	ftCfg.Epochs = 12
+	OneShotFT(ft, train, ftCfg, 0.2)
+	repFT := Stability(ft, test, accPre, rates, ev)
+
+	for i := range rates {
+		if repFT.AccDefect[i] <= repBase.AccDefect[i] {
+			t.Fatalf("FT defect acc should dominate at rate %v: %.3f vs %.3f",
+				rates[i], repFT.AccDefect[i], repBase.AccDefect[i])
+		}
+	}
+	// SS comparisons are meaningful at moderate rates (the paper uses
+	// 0.01/0.02); at extreme rates both models are deep in collapse.
+	if !math.IsInf(repFT.SS[0], 1) && !math.IsInf(repBase.SS[0], 1) &&
+		repFT.SS[0] <= repBase.SS[0] {
+		t.Fatalf("FT SS should dominate at rate %v: %.3f vs %.3f",
+			rates[0], repFT.SS[0], repBase.SS[0])
+	}
+	if len(repFT.SS) != 2 || len(repFT.AccDefect) != 2 {
+		t.Fatal("report shape wrong")
+	}
+}
+
+func TestPerBatchResamplingStillLearns(t *testing.T) {
+	train, test := testTask()
+	net := testModel(13)
+	cfg := quickCfg()
+	cfg.PerBatch = true
+	OneShotFT(net, train, cfg, 0.05)
+	if acc := metrics.Evaluate(net, test, 64); acc < 0.55 {
+		t.Fatalf("per-batch FT collapsed: %.3f", acc)
+	}
+}
+
+func TestWeightTensorsMatchesWeightParams(t *testing.T) {
+	net := testModel(14)
+	ts := WeightTensors(net)
+	ps := net.WeightParams()
+	if len(ts) != len(ps) {
+		t.Fatal("length mismatch")
+	}
+	for i := range ts {
+		if ts[i] != ps[i].W {
+			t.Fatal("WeightTensors must alias the live weight tensors")
+		}
+	}
+}
+
+func TestTrainEvalTracking(t *testing.T) {
+	train, test := testTask()
+	net := testModel(30)
+	cfg := quickCfg()
+	cfg.Epochs = 4
+	cfg.EvalDS = test
+	res := Train(net, train, cfg)
+	if res.BestEvalAcc <= 0 {
+		t.Fatal("BestEvalAcc not tracked")
+	}
+	for _, st := range res.History {
+		if st.EvalAcc < 0 || st.EvalAcc > 1 {
+			t.Fatalf("EvalAcc out of range: %v", st.EvalAcc)
+		}
+	}
+	best := 0.0
+	for _, st := range res.History {
+		if st.EvalAcc > best {
+			best = st.EvalAcc
+		}
+	}
+	if best != res.BestEvalAcc {
+		t.Fatalf("BestEvalAcc %v != max history %v", res.BestEvalAcc, best)
+	}
+}
+
+func TestTrainKeepBestRestoresBestWeights(t *testing.T) {
+	train, test := testTask()
+	net := testModel(31)
+	cfg := quickCfg()
+	cfg.Epochs = 6
+	cfg.EvalDS = test
+	cfg.KeepBest = true
+	res := Train(net, train, cfg)
+	// The final network must score exactly the tracked best accuracy.
+	if got := EvalClean(net, test, cfg.Batch); got != res.BestEvalAcc {
+		t.Fatalf("restored accuracy %v != best %v", got, res.BestEvalAcc)
+	}
+}

@@ -1,0 +1,105 @@
+package core
+
+import (
+	"github.com/ftpim/ftpim/internal/data"
+	"github.com/ftpim/ftpim/internal/fault"
+	"github.com/ftpim/ftpim/internal/metrics"
+	"github.com/ftpim/ftpim/internal/nn"
+	"github.com/ftpim/ftpim/internal/tensor"
+)
+
+// DefectEval parameterizes the defect-accuracy protocol: the paper
+// applies random stuck-at faults to the trained weights and averages
+// the test accuracy over num_of_runs repetitions (100 in the paper;
+// the repro preset uses fewer).
+type DefectEval struct {
+	Runs  int
+	Batch int
+	Model fault.Model // zero value → fault.ChenModel()
+	Seed  uint64
+}
+
+func (d DefectEval) model() fault.Model {
+	if d.Model.Ratio0 == 0 && d.Model.Ratio1 == 0 {
+		return fault.ChenModel()
+	}
+	return d.Model
+}
+
+// EvalClean returns the fault-free test accuracy.
+func EvalClean(net *nn.Network, ds *data.Dataset, batch int) float64 {
+	return metrics.Evaluate(net, ds, batch)
+}
+
+// EvalDefect measures the model's accuracy under stuck-at faults at
+// rate psa, averaged over cfg.Runs independent injections. The
+// network's weights are identical before and after the call.
+func EvalDefect(net *nn.Network, ds *data.Dataset, psa float64, cfg DefectEval) metrics.Summary {
+	if cfg.Runs <= 0 {
+		cfg.Runs = 10
+	}
+	if psa == 0 {
+		// No stochasticity at rate zero; one clean pass suffices.
+		acc := metrics.Evaluate(net, ds, cfg.Batch)
+		return metrics.Summarize([]float64{acc})
+	}
+	weights := WeightTensors(net)
+	inj := fault.NewInjector(cfg.model(), weights)
+	rng := tensor.NewRNG(cfg.Seed)
+	accs := make([]float64, 0, cfg.Runs)
+	for run := 0; run < cfg.Runs; run++ {
+		lesion := inj.Inject(rng.StreamN("defect-run", run), psa)
+		accs = append(accs, metrics.Evaluate(net, ds, cfg.Batch))
+		lesion.Undo()
+	}
+	return metrics.Summarize(accs)
+}
+
+// EvalDefectSweep evaluates the model across a list of testing fault
+// rates, returning mean defect accuracy per rate — one Table I row.
+func EvalDefectSweep(net *nn.Network, ds *data.Dataset, rates []float64, cfg DefectEval) []metrics.Summary {
+	out := make([]metrics.Summary, len(rates))
+	for i, r := range rates {
+		c := cfg
+		c.Seed = cfg.Seed + uint64(i)*7_919
+		out[i] = EvalDefect(net, ds, r, c)
+	}
+	return out
+}
+
+// EvalOnDevice deploys the network onto one fixed defective device and
+// returns the resulting accuracy (weights restored afterwards).
+func EvalOnDevice(net *nn.Network, ds *data.Dataset, dm *fault.DeviceMap, batch int) float64 {
+	lesion := dm.Apply(WeightTensors(net))
+	defer lesion.Undo()
+	return metrics.Evaluate(net, ds, batch)
+}
+
+// StabilityReport bundles the three accuracy stages of Figure 1 plus
+// the Stability Scores at chosen rates — one Table II row.
+type StabilityReport struct {
+	AccPretrain float64
+	AccRetrain  float64
+	Rates       []float64
+	AccDefect   []float64
+	SS          []float64
+}
+
+// Stability computes a StabilityReport for a (possibly FT-retrained)
+// network. accPretrain is the ideal accuracy of the original pretrained
+// model the FT model was derived from.
+func Stability(net *nn.Network, ds *data.Dataset, accPretrain float64, rates []float64, cfg DefectEval) StabilityReport {
+	rep := StabilityReport{
+		AccPretrain: accPretrain,
+		AccRetrain:  EvalClean(net, ds, cfg.Batch),
+		Rates:       rates,
+	}
+	for i, r := range rates {
+		c := cfg
+		c.Seed = cfg.Seed + uint64(i)*104_729
+		s := EvalDefect(net, ds, r, c)
+		rep.AccDefect = append(rep.AccDefect, s.Mean)
+		rep.SS = append(rep.SS, metrics.StabilityScore(rep.AccRetrain, accPretrain, s.Mean))
+	}
+	return rep
+}

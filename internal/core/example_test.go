@@ -1,0 +1,17 @@
+package core_test
+
+import (
+	"fmt"
+
+	"github.com/ftpim/ftpim/internal/core"
+)
+
+// The progressive ladder toward a 10% target rate, capped at three
+// rungs, climbs through the paper's candidate list.
+func ExampleLadder() {
+	fmt.Println(core.Ladder(0.1, 3))
+	fmt.Println(core.Ladder(0.02, 10))
+	// Output:
+	// [0.02 0.05 0.1]
+	// [0.005 0.01 0.02]
+}

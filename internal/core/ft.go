@@ -1,0 +1,77 @@
+package core
+
+import (
+	"sort"
+
+	"github.com/ftpim/ftpim/internal/data"
+	"github.com/ftpim/ftpim/internal/nn"
+)
+
+// PaperRates is the candidate stuck-at-rate list evaluated in the
+// paper's Table I (both as training targets and the progressive
+// ladder pool).
+var PaperRates = []float64{0.005, 0.01, 0.02, 0.05, 0.1, 0.15, 0.2}
+
+// Ladder builds the ascending Psa ladder for progressive FT training
+// toward the target rate: every candidate rate strictly below the
+// target, capped at maxRungs (keeping the rungs closest to the
+// target), followed by the target itself.
+func Ladder(target float64, maxRungs int) []float64 {
+	if target <= 0 {
+		panic("core: ladder target must be positive")
+	}
+	if maxRungs < 1 {
+		maxRungs = 1
+	}
+	var below []float64
+	for _, r := range PaperRates {
+		if r < target {
+			below = append(below, r)
+		}
+	}
+	sort.Float64s(below)
+	if len(below) > maxRungs-1 {
+		below = below[len(below)-(maxRungs-1):]
+	}
+	return append(below, target)
+}
+
+// OneShotFT runs one-shot stochastic fault-tolerant training: the full
+// epoch budget at the fixed target rate Psa^T (Algorithm 1, first
+// branch). Batch-norm statistics are recalibrated on clean weights
+// afterwards (see RecalibrateBN).
+func OneShotFT(net *nn.Network, ds *data.Dataset, cfg Config, target float64) *Result {
+	cfg.FaultRate = target
+	res := Train(net, ds, cfg)
+	RecalibrateBN(net, ds, cfg.Batch)
+	return res
+}
+
+// ProgressiveFT runs progressive stochastic fault-tolerant training
+// (Algorithm 1, second branch): the ladder is climbed rung by rung,
+// training epochsPerStage epochs at each rate. The LR schedule restarts
+// each stage, matching the paper's iterative retraining.
+func ProgressiveFT(net *nn.Network, ds *data.Dataset, cfg Config, ladder []float64, epochsPerStage int) *Result {
+	if len(ladder) == 0 {
+		panic("core: empty progressive ladder")
+	}
+	if epochsPerStage <= 0 {
+		epochsPerStage = cfg.Epochs
+	}
+	total := &Result{}
+	for stage, rate := range ladder {
+		c := cfg
+		c.Epochs = epochsPerStage
+		c.FaultRate = rate
+		c.Seed = cfg.Seed + uint64(stage)*1_000_003
+		c.logf("progressive stage %d/%d: Psa=%g", stage+1, len(ladder), rate)
+		r := Train(net, ds, c)
+		base := len(total.History)
+		for i, st := range r.History {
+			st.Epoch = base + i
+			total.History = append(total.History, st)
+		}
+	}
+	RecalibrateBN(net, ds, cfg.Batch)
+	return total
+}

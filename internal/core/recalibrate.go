@@ -1,0 +1,51 @@
+package core
+
+import (
+	"github.com/ftpim/ftpim/internal/data"
+	"github.com/ftpim/ftpim/internal/nn"
+	"github.com/ftpim/ftpim/internal/tensor"
+)
+
+// RecalibrateBN re-estimates every batch-norm layer's running
+// statistics by streaming the training set through the network with
+// its *clean* weights.
+//
+// During stochastic fault-tolerant training the forward passes — and
+// therefore the BN running averages — see faulted weights. The faults
+// are undone before each optimizer step, but the statistics keep the
+// contamination, which depresses the retrained model's ideal accuracy.
+// One clean statistics pass after FT training removes that artifact
+// (the deployment-time analogue is calibrating the golden model once
+// before mass programming; it is device-independent).
+func RecalibrateBN(net *nn.Network, ds *data.Dataset, batch int) {
+	bns := net.BatchNorms()
+	if len(bns) == 0 {
+		return
+	}
+	saved := make([]float64, len(bns))
+	for i, bn := range bns {
+		saved[i] = bn.Momentum
+		bn.RunningMean.Zero()
+		bn.RunningVar.Fill(1)
+	}
+	loader := data.NewLoader(ds, batch, data.Augment{}, false, tensor.NewRNG(0))
+	loader.Epoch()
+	step := 0
+	for {
+		x, _ := loader.Next()
+		if x == nil {
+			break
+		}
+		// Cumulative moving average: momentum 1/(t+1) turns the
+		// exponential update into an exact mean over batches.
+		m := 1.0 / float64(step+1)
+		for _, bn := range bns {
+			bn.Momentum = m
+		}
+		net.Forward(x, true)
+		step++
+	}
+	for i, bn := range bns {
+		bn.Momentum = saved[i]
+	}
+}

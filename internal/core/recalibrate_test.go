@@ -1,0 +1,84 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"github.com/ftpim/ftpim/internal/metrics"
+	"github.com/ftpim/ftpim/internal/models"
+	"github.com/ftpim/ftpim/internal/nn"
+)
+
+func TestRecalibrateBNRestoresCleanStats(t *testing.T) {
+	train, test := testTask()
+	net := testModel(20)
+	Train(net, train, quickCfg())
+	cleanAcc := metrics.Evaluate(net, test, 64)
+
+	// Pollute the BN running statistics.
+	for _, bn := range net.BatchNorms() {
+		bn.RunningMean.Fill(3)
+		bn.RunningVar.Fill(9)
+	}
+	polluted := metrics.Evaluate(net, test, 64)
+	if polluted >= cleanAcc {
+		t.Skip("pollution did not hurt; cannot test recovery")
+	}
+	RecalibrateBN(net, train, 32)
+	recovered := metrics.Evaluate(net, test, 64)
+	if recovered < cleanAcc-0.1 {
+		t.Fatalf("recalibration did not recover accuracy: %.3f -> %.3f -> %.3f",
+			cleanAcc, polluted, recovered)
+	}
+}
+
+func TestRecalibrateBNPreservesMomentum(t *testing.T) {
+	train, _ := testTask()
+	net := testModel(21)
+	cfg := quickCfg()
+	cfg.Epochs = 1
+	Train(net, train, cfg)
+	want := net.BatchNorms()[0].Momentum
+	RecalibrateBN(net, train, 32)
+	if got := net.BatchNorms()[0].Momentum; got != want {
+		t.Fatalf("momentum clobbered: %v -> %v", want, got)
+	}
+}
+
+func TestRecalibrateBNDoesNotTouchWeights(t *testing.T) {
+	train, _ := testTask()
+	net := testModel(22)
+	cfg := quickCfg()
+	cfg.Epochs = 1
+	Train(net, train, cfg)
+	w0 := net.Params()[0].W.Clone()
+	RecalibrateBN(net, train, 32)
+	if !net.Params()[0].W.Equal(w0) {
+		t.Fatal("recalibration must not change weights")
+	}
+}
+
+func TestRecalibrateBNNoBNLayersSafe(t *testing.T) {
+	train, _ := testTask()
+	net := mlpNet()
+	RecalibrateBN(net, train, 32) // must not panic
+}
+
+func TestRecalibrateBNStatsAreBatchAverages(t *testing.T) {
+	// After recalibration, eval-mode outputs on the training set should
+	// be near zero mean per channel (stats match the data).
+	train, _ := testTask()
+	net := testModel(23)
+	Train(net, train, quickCfg())
+	RecalibrateBN(net, train, 32)
+	bn := net.BatchNorms()[0]
+	for c := 0; c < bn.C; c++ {
+		if v := bn.RunningVar.At(c); v <= 0 || math.IsNaN(float64(v)) {
+			t.Fatalf("bad recalibrated variance %v", v)
+		}
+	}
+}
+
+func mlpNet() *nn.Network {
+	return models.BuildMLP(models.MLPConfig{In: 3 * 8 * 8, Hidden: []int{8}, Classes: 4, Seed: 1})
+}

@@ -1,0 +1,232 @@
+// Package core implements the paper's contribution: stochastic
+// fault-tolerant (FT) training of DNNs for ReRAM-based
+// processing-in-memory accelerators.
+//
+// The key mechanism (Algorithm 1 of the paper) fuses the model weights
+// with freshly sampled stuck-at faults during retraining. Each epoch a
+// fault pattern with rate Psa is drawn; every mini-batch runs forward
+// and backward through the faulted weights, and the resulting gradient
+// is applied to the clean weights (straight-through). Two schemes are
+// provided: one-shot training at a fixed target rate Psa^T, and
+// progressive training up an ascending ladder of rates ending at Psa^T.
+//
+// The package also provides the defect evaluation protocol (average
+// accuracy over repeated random fault injections) and the
+// device-specific fault-aware retraining baseline the paper compares
+// against.
+package core
+
+import (
+	"fmt"
+
+	"github.com/ftpim/ftpim/internal/data"
+	"github.com/ftpim/ftpim/internal/fault"
+	"github.com/ftpim/ftpim/internal/nn"
+	"github.com/ftpim/ftpim/internal/optim"
+	"github.com/ftpim/ftpim/internal/prune"
+	"github.com/ftpim/ftpim/internal/tensor"
+)
+
+// Config parameterizes one training run (clean, stochastic-FT, ADMM or
+// device-pinned).
+type Config struct {
+	Epochs      int
+	Batch       int
+	LR          float64
+	Momentum    float64
+	WeightDecay float64
+	Schedule    optim.Schedule // nil → cosine from LR over Epochs
+	Aug         data.Augment
+	Seed        uint64
+
+	// FaultRate is the stochastic training stuck-at rate Psa. Zero
+	// disables fault injection (plain training).
+	FaultRate  float64
+	FaultModel fault.Model // zero value → fault.ChenModel()
+	// PerBatch resamples the fault pattern every mini-batch instead of
+	// every epoch (Algorithm 1 resamples per epoch; per-batch is the
+	// A2 ablation).
+	PerBatch bool
+	// Pinned, when set, trains against one fixed device defect map —
+	// the device-specific fault-aware retraining baseline [5].
+	// FaultRate is ignored.
+	Pinned *fault.DeviceMap
+
+	// ADMM, when set, adds the augmented-Lagrangian pruning penalty and
+	// updates the duals every ADMMInterval epochs (default 3).
+	ADMM         *prune.ADMM
+	ADMMInterval int
+
+	// EvalDS, when set, is evaluated (clean, inference mode) after
+	// every epoch; with KeepBest the weights giving the best EvalDS
+	// accuracy are restored at the end of Train — a standard guard
+	// against late-schedule regressions, useful for short FT budgets.
+	EvalDS   *data.Dataset
+	KeepBest bool
+
+	Logf func(format string, args ...any) // nil → silent
+}
+
+func (c Config) model() fault.Model {
+	if c.FaultModel.Ratio0 == 0 && c.FaultModel.Ratio1 == 0 {
+		return fault.ChenModel()
+	}
+	return c.FaultModel
+}
+
+func (c Config) logf(format string, args ...any) {
+	if c.Logf != nil {
+		c.Logf(format, args...)
+	}
+}
+
+// EpochStats records one epoch of training.
+type EpochStats struct {
+	Epoch     int
+	LR        float64
+	Loss      float64 // mean batch loss
+	TrainAcc  float64 // accuracy on (augmented, possibly faulted) batches
+	EvalAcc   float64 // clean accuracy on Config.EvalDS (0 when unset)
+	FaultRate float64 // Psa used this epoch
+}
+
+// Result is a training run's trace.
+type Result struct {
+	History []EpochStats
+	// BestEvalAcc and BestEpoch are set when Config.EvalDS is used.
+	BestEvalAcc float64
+	BestEpoch   int
+}
+
+// FinalLoss returns the last epoch's mean loss (0 for an empty run).
+func (r *Result) FinalLoss() float64 {
+	if len(r.History) == 0 {
+		return 0
+	}
+	return r.History[len(r.History)-1].Loss
+}
+
+// WeightTensors returns the crossbar-mapped weight tensors of a
+// network — the fault-injection targets.
+func WeightTensors(net *nn.Network) []*tensor.Tensor {
+	var ts []*tensor.Tensor
+	for _, p := range net.WeightParams() {
+		ts = append(ts, p.W)
+	}
+	return ts
+}
+
+// Train runs the configured training loop on net. It implements plain
+// training (FaultRate 0), one-shot stochastic fault-tolerant training
+// (FaultRate > 0), device-pinned retraining (Pinned) and ADMM-penalized
+// training, which compose freely.
+func Train(net *nn.Network, ds *data.Dataset, cfg Config) *Result {
+	if cfg.Epochs <= 0 || cfg.Batch <= 0 {
+		panic(fmt.Sprintf("core: invalid config epochs=%d batch=%d", cfg.Epochs, cfg.Batch))
+	}
+	if cfg.LR <= 0 {
+		panic("core: LR must be positive")
+	}
+	sched := cfg.Schedule
+	if sched == nil {
+		sched = optim.NewCosine(cfg.LR, cfg.Epochs)
+	}
+	admmInterval := cfg.ADMMInterval
+	if admmInterval <= 0 {
+		admmInterval = 3
+	}
+
+	rng := tensor.NewRNG(cfg.Seed)
+	opt := optim.NewSGD(net.Params(), cfg.LR, cfg.Momentum, cfg.WeightDecay)
+	loader := data.NewLoader(ds, cfg.Batch, cfg.Aug, true, rng.Stream("shuffle"))
+	weights := WeightTensors(net)
+	faultRNG := rng.Stream("train-faults")
+	model := cfg.model()
+
+	res := &Result{}
+	var bestState []byte
+	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+		opt.LR = sched.LR(epoch)
+
+		// Per Algorithm 1 the fault pattern is redrawn each epoch and
+		// held fixed across the epoch's batches (unless PerBatch).
+		var dm *fault.DeviceMap
+		switch {
+		case cfg.Pinned != nil:
+			dm = cfg.Pinned
+		case cfg.FaultRate > 0 && !cfg.PerBatch:
+			dm = fault.DrawDeviceMap(faultRNG.StreamN("epoch", epoch), model, weights, cfg.FaultRate)
+		}
+
+		loader.Epoch()
+		var lossSum float64
+		var correct, seen, batches int
+		for step := 0; ; step++ {
+			x, y := loader.Next()
+			if x == nil {
+				break
+			}
+			if cfg.PerBatch && cfg.FaultRate > 0 && cfg.Pinned == nil {
+				dm = fault.DrawDeviceMap(faultRNG.StreamN("batch", epoch*100000+step), model, weights, cfg.FaultRate)
+			}
+			var lesion *fault.Lesion
+			if dm != nil {
+				lesion = dm.Apply(weights)
+			}
+			net.ZeroGrad()
+			out := net.Forward(x, true)
+			loss, dOut := nn.SoftmaxCrossEntropy(out, y)
+			for i := 0; i < len(y); i++ {
+				if out.ArgMaxRow(i) == y[i] {
+					correct++
+				}
+			}
+			seen += len(y)
+			net.Backward(dOut)
+			if lesion != nil {
+				// Straight-through: restore clean weights, then apply
+				// the gradient computed at the faulted point.
+				lesion.Undo()
+			}
+			if cfg.ADMM != nil {
+				cfg.ADMM.AddPenaltyGrad()
+			}
+			opt.Step()
+			lossSum += loss
+			batches++
+		}
+		if cfg.ADMM != nil && (epoch+1)%admmInterval == 0 {
+			cfg.ADMM.UpdateDuals()
+		}
+		st := EpochStats{
+			Epoch:     epoch,
+			LR:        opt.LR,
+			Loss:      lossSum / float64(batches),
+			TrainAcc:  float64(correct) / float64(seen),
+			FaultRate: cfg.FaultRate,
+		}
+		if cfg.Pinned != nil {
+			st.FaultRate = cfg.Pinned.Psa
+		}
+		if cfg.EvalDS != nil {
+			st.EvalAcc = EvalClean(net, cfg.EvalDS, cfg.Batch)
+			if st.EvalAcc > res.BestEvalAcc {
+				res.BestEvalAcc = st.EvalAcc
+				res.BestEpoch = epoch
+				if cfg.KeepBest {
+					bestState = net.Snapshot()
+				}
+			}
+		}
+		res.History = append(res.History, st)
+		cfg.logf("epoch %3d  lr %.4f  loss %.4f  acc %.4f  psa %g",
+			epoch, st.LR, st.Loss, st.TrainAcc, st.FaultRate)
+	}
+	if cfg.KeepBest && bestState != nil {
+		if err := net.Restore(bestState); err != nil {
+			panic(fmt.Sprintf("core: best-snapshot restore failed: %v", err))
+		}
+		cfg.logf("restored best epoch %d (eval acc %.4f)", res.BestEpoch, res.BestEvalAcc)
+	}
+	return res
+}

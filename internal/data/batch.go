@@ -1,0 +1,126 @@
+package data
+
+import (
+	"github.com/ftpim/ftpim/internal/tensor"
+)
+
+// Augment holds the light data-augmentation settings used during
+// training: random horizontal flips and random shifts with zero
+// padding (the CIFAR "random crop" equivalent).
+type Augment struct {
+	Flip     bool
+	ShiftMax int
+}
+
+// Loader iterates over a dataset in shuffled mini-batches, optionally
+// augmenting each example. The batch tensor is reused between
+// iterations — consumers must not retain it across Next calls.
+type Loader struct {
+	DS      *Dataset
+	Batch   int
+	Aug     Augment
+	Shuffle bool
+
+	rng    *tensor.RNG
+	perm   []int
+	cursor int
+	images *tensor.Tensor
+	labels []int
+}
+
+// NewLoader creates a mini-batch loader. rng drives shuffling and
+// augmentation; pass a dedicated stream for reproducibility.
+func NewLoader(ds *Dataset, batch int, aug Augment, shuffle bool, rng *tensor.RNG) *Loader {
+	if batch <= 0 {
+		panic("data: batch size must be positive")
+	}
+	return &Loader{DS: ds, Batch: batch, Aug: aug, Shuffle: shuffle, rng: rng}
+}
+
+// Epoch resets the iterator and reshuffles.
+func (l *Loader) Epoch() {
+	n := l.DS.N()
+	if l.perm == nil || len(l.perm) != n {
+		l.perm = make([]int, n)
+		for i := range l.perm {
+			l.perm[i] = i
+		}
+	}
+	if l.Shuffle {
+		l.rng.Shuffle(n, func(i, j int) { l.perm[i], l.perm[j] = l.perm[j], l.perm[i] })
+	}
+	l.cursor = 0
+}
+
+// Steps returns the number of batches per epoch (final partial batch
+// included).
+func (l *Loader) Steps() int { return (l.DS.N() + l.Batch - 1) / l.Batch }
+
+// Next returns the next mini-batch, or (nil, nil) at epoch end. The
+// returned tensors/slices are reused on the following call.
+func (l *Loader) Next() (*tensor.Tensor, []int) {
+	n := l.DS.N()
+	if l.cursor >= n {
+		return nil, nil
+	}
+	bs := l.Batch
+	if l.cursor+bs > n {
+		bs = n - l.cursor
+	}
+	c, h, w := l.DS.Dims()
+	stride := c * h * w
+	if l.images == nil || l.images.Dim(0) != bs {
+		l.images = tensor.New(bs, c, h, w)
+		l.labels = make([]int, bs)
+	}
+	for bi := 0; bi < bs; bi++ {
+		src := l.perm[l.cursor+bi]
+		dst := l.images.Data()[bi*stride : (bi+1)*stride]
+		l.labels[bi] = l.DS.Example(src, dst)
+		l.augment(dst, c, h, w)
+	}
+	l.cursor += bs
+	return l.images, l.labels[:bs]
+}
+
+// augment applies flip/shift in place to one CHW example.
+func (l *Loader) augment(img []float32, c, h, w int) {
+	if l.Aug.Flip && l.rng.Uint64()%2 == 0 {
+		for ch := 0; ch < c; ch++ {
+			for y := 0; y < h; y++ {
+				row := img[(ch*h+y)*w : (ch*h+y)*w+w]
+				for x := 0; x < w/2; x++ {
+					row[x], row[w-1-x] = row[w-1-x], row[x]
+				}
+			}
+		}
+	}
+	if l.Aug.ShiftMax > 0 {
+		m := l.Aug.ShiftMax
+		dx := int(l.rng.Uint64()%uint64(2*m+1)) - m
+		dy := int(l.rng.Uint64()%uint64(2*m+1)) - m
+		if dx != 0 || dy != 0 {
+			shifted := make([]float32, h*w)
+			for ch := 0; ch < c; ch++ {
+				plane := img[ch*h*w : (ch+1)*h*w]
+				for i := range shifted {
+					shifted[i] = 0
+				}
+				for y := 0; y < h; y++ {
+					sy := y - dy
+					if sy < 0 || sy >= h {
+						continue
+					}
+					for x := 0; x < w; x++ {
+						sx := x - dx
+						if sx < 0 || sx >= w {
+							continue
+						}
+						shifted[y*w+x] = plane[sy*w+sx]
+					}
+				}
+				copy(plane, shifted)
+			}
+		}
+	}
+}

@@ -1,0 +1,304 @@
+package data
+
+import (
+	"bytes"
+	"math"
+	"testing"
+	"testing/quick"
+
+	"github.com/ftpim/ftpim/internal/tensor"
+)
+
+func tinySynth() SynthConfig {
+	return SynthConfig{
+		Classes: 4, TrainPer: 12, TestPer: 5,
+		Channels: 3, Size: 8, Basis: 8,
+		NoiseStd: 0.2, ShiftMax: 1, JitterStd: 0.1,
+		Seed: 7,
+	}
+}
+
+func TestGenerateShapesAndLabels(t *testing.T) {
+	train, test := Generate(tinySynth())
+	if train.N() != 48 || test.N() != 20 {
+		t.Fatalf("N train=%d test=%d", train.N(), test.N())
+	}
+	c, h, w := train.Dims()
+	if c != 3 || h != 8 || w != 8 {
+		t.Fatalf("dims %d %d %d", c, h, w)
+	}
+	for _, l := range train.Labels {
+		if l < 0 || l >= 4 {
+			t.Fatalf("label %d out of range", l)
+		}
+	}
+	hist := train.ClassHistogram()
+	for cl, n := range hist {
+		if n != 12 {
+			t.Fatalf("class %d has %d examples, want 12", cl, n)
+		}
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a, _ := Generate(tinySynth())
+	b, _ := Generate(tinySynth())
+	if !a.Images.Equal(b.Images) {
+		t.Fatal("same seed must generate identical data")
+	}
+	cfg := tinySynth()
+	cfg.Seed = 8
+	c, _ := Generate(cfg)
+	if a.Images.Equal(c.Images) {
+		t.Fatal("different seeds should generate different data")
+	}
+}
+
+func TestGenerateNormalized(t *testing.T) {
+	train, _ := Generate(tinySynth())
+	c, h, w := train.Dims()
+	area := h * w
+	xd := train.Images.Data()
+	for ch := 0; ch < c; ch++ {
+		var sum, sq float64
+		for i := 0; i < train.N(); i++ {
+			base := (i*c + ch) * area
+			for j := 0; j < area; j++ {
+				v := float64(xd[base+j])
+				sum += v
+				sq += v * v
+			}
+		}
+		cnt := float64(train.N() * area)
+		mean := sum / cnt
+		variance := sq/cnt - mean*mean
+		if math.Abs(mean) > 1e-4 || math.Abs(variance-1) > 1e-3 {
+			t.Fatalf("channel %d not normalized: mean=%v var=%v", ch, mean, variance)
+		}
+	}
+}
+
+func TestClassesAreSeparable(t *testing.T) {
+	// A nearest-class-mean classifier on raw pixels must beat chance by
+	// a wide margin, otherwise the synthetic task carries no signal.
+	train, test := Generate(tinySynth())
+	c, h, w := train.Dims()
+	stride := c * h * w
+	means := make([][]float64, train.Classes)
+	counts := make([]int, train.Classes)
+	for i := range means {
+		means[i] = make([]float64, stride)
+	}
+	for i := 0; i < train.N(); i++ {
+		l := train.Labels[i]
+		counts[l]++
+		img := train.Images.Data()[i*stride : (i+1)*stride]
+		for j, v := range img {
+			means[l][j] += float64(v)
+		}
+	}
+	for l := range means {
+		for j := range means[l] {
+			means[l][j] /= float64(counts[l])
+		}
+	}
+	correct := 0
+	for i := 0; i < test.N(); i++ {
+		img := test.Images.Data()[i*stride : (i+1)*stride]
+		best, bl := math.Inf(1), -1
+		for l := range means {
+			var d float64
+			for j, v := range img {
+				diff := float64(v) - means[l][j]
+				d += diff * diff
+			}
+			if d < best {
+				best, bl = d, l
+			}
+		}
+		if bl == test.Labels[i] {
+			correct++
+		}
+	}
+	acc := float64(correct) / float64(test.N())
+	if acc < 0.5 {
+		t.Fatalf("nearest-mean accuracy %.2f; synthetic task is not learnable", acc)
+	}
+}
+
+func TestSubsetAndHead(t *testing.T) {
+	train, _ := Generate(tinySynth())
+	sub := train.Subset([]int{3, 0})
+	if sub.N() != 2 || sub.Labels[0] != train.Labels[3] || sub.Labels[1] != train.Labels[0] {
+		t.Fatal("Subset mislabeled")
+	}
+	head := train.Head(5)
+	if head.N() != 5 || head.Labels[2] != train.Labels[2] {
+		t.Fatal("Head wrong")
+	}
+	if train.Head(10_000).N() != train.N() {
+		t.Fatal("Head should clamp")
+	}
+}
+
+func TestLoaderCoversEveryExampleOnce(t *testing.T) {
+	train, _ := Generate(tinySynth())
+	rng := tensor.NewRNG(3)
+	l := NewLoader(train, 7, Augment{}, true, rng)
+	l.Epoch()
+	seen := 0
+	labelCount := make([]int, train.Classes)
+	for {
+		x, y := l.Next()
+		if x == nil {
+			break
+		}
+		if x.Dim(0) != len(y) {
+			t.Fatal("batch size mismatch")
+		}
+		seen += len(y)
+		for _, li := range y {
+			labelCount[li]++
+		}
+	}
+	if seen != train.N() {
+		t.Fatalf("epoch visited %d of %d examples", seen, train.N())
+	}
+	for cl, n := range labelCount {
+		if n != 12 {
+			t.Fatalf("class %d seen %d times", cl, n)
+		}
+	}
+	if l.Steps() != (train.N()+6)/7 {
+		t.Fatalf("Steps=%d", l.Steps())
+	}
+}
+
+func TestLoaderShuffleChangesOrder(t *testing.T) {
+	train, _ := Generate(tinySynth())
+	rng := tensor.NewRNG(4)
+	l := NewLoader(train, train.N(), Augment{}, true, rng)
+	l.Epoch()
+	_, y1 := l.Next()
+	first := append([]int(nil), y1...)
+	l.Epoch()
+	_, y2 := l.Next()
+	same := true
+	for i := range first {
+		if first[i] != y2[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("reshuffled epoch should differ (overwhelmingly likely)")
+	}
+}
+
+func TestLoaderNoShuffleStableOrder(t *testing.T) {
+	train, _ := Generate(tinySynth())
+	l := NewLoader(train, 5, Augment{}, false, tensor.NewRNG(1))
+	l.Epoch()
+	_, y := l.Next()
+	for i, li := range y {
+		if li != train.Labels[i] {
+			t.Fatal("unshuffled loader must preserve order")
+		}
+	}
+}
+
+func TestAugmentPreservesEnergyScale(t *testing.T) {
+	// Augmentation must not blow up or zero out images.
+	train, _ := Generate(tinySynth())
+	rng := tensor.NewRNG(5)
+	l := NewLoader(train, 16, Augment{Flip: true, ShiftMax: 2}, true, rng)
+	l.Epoch()
+	x, _ := l.Next()
+	if !x.IsFinite() {
+		t.Fatal("augmented batch has NaN/Inf")
+	}
+	if x.MaxAbs() == 0 {
+		t.Fatal("augmented batch is all zero")
+	}
+}
+
+func TestFlipIsInvolution(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := tensor.NewRNG(seed)
+		c, h, w := 2, 4, 6
+		img := make([]float32, c*h*w)
+		for i := range img {
+			img[i] = r.Normal(0, 1)
+		}
+		orig := append([]float32(nil), img...)
+		flip := func(im []float32) {
+			for ch := 0; ch < c; ch++ {
+				for y := 0; y < h; y++ {
+					row := im[(ch*h+y)*w : (ch*h+y)*w+w]
+					for x := 0; x < w/2; x++ {
+						row[x], row[w-1-x] = row[w-1-x], row[x]
+					}
+				}
+			}
+		}
+		flip(img)
+		flip(img)
+		for i := range img {
+			if img[i] != orig[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// buildCIFARStream fabricates n CIFAR-10-format records.
+func buildCIFARStream(n int, classes int) []byte {
+	r := tensor.NewRNG(9)
+	buf := make([]byte, 0, n*(1+cifarPixels))
+	for i := 0; i < n; i++ {
+		buf = append(buf, byte(i%classes))
+		for j := 0; j < cifarPixels; j++ {
+			buf = append(buf, byte(r.Uint64()%256))
+		}
+	}
+	return buf
+}
+
+func TestParseCIFARReader(t *testing.T) {
+	raw := buildCIFARStream(6, 10)
+	ds, err := ParseCIFARReader(bytes.NewReader(raw), "fake", 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.N() != 6 || ds.Classes != 10 {
+		t.Fatalf("N=%d classes=%d", ds.N(), ds.Classes)
+	}
+	c, h, w := ds.Dims()
+	if c != 3 || h != 32 || w != 32 {
+		t.Fatalf("dims %d %d %d", c, h, w)
+	}
+	if ds.Labels[3] != 3 {
+		t.Fatalf("label[3]=%d", ds.Labels[3])
+	}
+	// Pixels are scaled to [0,1].
+	if ds.Images.Max() > 1 || ds.Images.Min() < 0 {
+		t.Fatal("pixel scaling out of range")
+	}
+}
+
+func TestParseCIFARReaderTruncated(t *testing.T) {
+	raw := buildCIFARStream(2, 10)
+	if _, err := ParseCIFARReader(bytes.NewReader(raw[:len(raw)-10]), "bad", 10); err == nil {
+		t.Fatal("expected error for truncated stream")
+	}
+}
+
+func TestLoadCIFAR10DirMissing(t *testing.T) {
+	if _, _, err := LoadCIFAR10Dir(t.TempDir()); err == nil {
+		t.Fatal("expected error when files are missing")
+	}
+}

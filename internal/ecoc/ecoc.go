@@ -1,0 +1,160 @@
+// Package ecoc implements error-correcting output codes for DNN
+// classifiers (Liu et al., DAC'19 [28]). Instead of one logit per
+// class, the network emits B code bits; each class is assigned a
+// ±1 codeword, training minimizes per-bit logistic loss, and inference
+// decodes to the nearest codeword. Redundant bits let the classifier
+// absorb corrupted logits — the output-side complement to the paper's
+// weight-side stochastic fault-tolerant training, with which it
+// composes (the paper notes the two are compatible; the test suite
+// demonstrates ECOC + FT training end to end).
+package ecoc
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/ftpim/ftpim/internal/tensor"
+)
+
+// Codebook assigns every class a ±1 codeword of Bits bits.
+type Codebook struct {
+	Classes int
+	Bits    int
+	codes   [][]int8 // classes × bits, entries ±1
+}
+
+// NewRandomCodebook draws random balanced codewords with a guaranteed
+// minimum pairwise Hamming distance of at least bits/8 (retrying rows
+// that land too close). bits should comfortably exceed log2(classes);
+// 4–8× is typical for ECOC.
+func NewRandomCodebook(classes, bits int, rng *tensor.RNG) *Codebook {
+	if classes < 2 || bits < 2 {
+		panic(fmt.Sprintf("ecoc: need ≥2 classes and ≥2 bits, got %d/%d", classes, bits))
+	}
+	minDist := bits / 8
+	cb := &Codebook{Classes: classes, Bits: bits}
+	const maxTries = 2000
+	for c := 0; c < classes; c++ {
+		ok := false
+		for try := 0; try < maxTries && !ok; try++ {
+			row := make([]int8, bits)
+			for b := range row {
+				if rng.Uint64()%2 == 0 {
+					row[b] = 1
+				} else {
+					row[b] = -1
+				}
+			}
+			ok = true
+			for _, prev := range cb.codes {
+				if hamming(prev, row) < minDist {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				cb.codes = append(cb.codes, row)
+			}
+		}
+		if !ok {
+			panic(fmt.Sprintf("ecoc: cannot place %d codewords of %d bits with distance ≥%d", classes, bits, minDist))
+		}
+	}
+	return cb
+}
+
+func hamming(a, b []int8) int {
+	d := 0
+	for i := range a {
+		if a[i] != b[i] {
+			d++
+		}
+	}
+	return d
+}
+
+// MinDistance returns the smallest pairwise Hamming distance — the
+// code can correct ⌊(MinDistance−1)/2⌋ flipped bits.
+func (cb *Codebook) MinDistance() int {
+	best := cb.Bits + 1
+	for i := 0; i < len(cb.codes); i++ {
+		for j := i + 1; j < len(cb.codes); j++ {
+			if d := hamming(cb.codes[i], cb.codes[j]); d < best {
+				best = d
+			}
+		}
+	}
+	return best
+}
+
+// Code returns class c's codeword (±1 entries; do not mutate).
+func (cb *Codebook) Code(c int) []int8 { return cb.codes[c] }
+
+// Decode maps one row of bit logits to the class whose codeword best
+// matches, scoring by the soft correlation Σ_b code_b·logit_b (which
+// subsumes Hamming decoding on the signs but weighs confident bits
+// more).
+func (cb *Codebook) Decode(logits []float32) int {
+	if len(logits) != cb.Bits {
+		panic(fmt.Sprintf("ecoc: logit width %d, want %d bits", len(logits), cb.Bits))
+	}
+	best, bi := math.Inf(-1), 0
+	for c, code := range cb.codes {
+		var s float64
+		for b, v := range logits {
+			s += float64(code[b]) * float64(v)
+		}
+		if s > best {
+			best, bi = s, c
+		}
+	}
+	return bi
+}
+
+// Loss computes the logistic code-bit loss over a batch of bit logits
+// (N × Bits) against the labels' codewords — summed over bits, averaged
+// over the batch, so the gradient scale matches a softmax head's —
+// returning the gradient with respect to the logits:
+//
+//	ℓ = Σ_b softplus(−t_b·z_b),  dℓ/dz_b = σ(z_b) − (t_b+1)/2,  t ∈ {−1, +1}.
+func (cb *Codebook) Loss(logits *tensor.Tensor, labels []int) (loss float64, dLogits *tensor.Tensor) {
+	n := logits.Dim(0)
+	if logits.Dim(1) != cb.Bits {
+		panic(fmt.Sprintf("ecoc: logit width %d, want %d bits", logits.Dim(1), cb.Bits))
+	}
+	if len(labels) != n {
+		panic("ecoc: label count mismatch")
+	}
+	dLogits = tensor.New(logits.Shape()...)
+	invN := 1 / float64(n)
+	for i := 0; i < n; i++ {
+		code := cb.codes[labels[i]]
+		zrow := logits.Row(i)
+		grow := dLogits.Row(i)
+		for b, z := range zrow {
+			t := float64(code[b])
+			// softplus(−t·z), numerically stable.
+			x := -t * float64(z)
+			if x > 0 {
+				loss += x + math.Log1p(math.Exp(-x))
+			} else {
+				loss += math.Log1p(math.Exp(x))
+			}
+			sig := 1 / (1 + math.Exp(-float64(z)))
+			grow[b] = float32((sig - (t+1)/2) * invN)
+		}
+	}
+	return loss * invN, dLogits
+}
+
+// Accuracy decodes every row and compares with the labels.
+func (cb *Codebook) Accuracy(logits *tensor.Tensor, labels []int) float64 {
+	n := logits.Dim(0)
+	correct := 0
+	for i := 0; i < n; i++ {
+		if cb.Decode(logits.Row(i)) == labels[i] {
+			correct++
+		}
+	}
+	return float64(correct) / float64(n)
+}

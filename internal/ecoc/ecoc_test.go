@@ -1,0 +1,147 @@
+package ecoc
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"github.com/ftpim/ftpim/internal/tensor"
+)
+
+func TestCodebookShapeAndDistance(t *testing.T) {
+	rng := tensor.NewRNG(1)
+	cb := NewRandomCodebook(10, 32, rng)
+	if cb.Classes != 10 || cb.Bits != 32 {
+		t.Fatalf("codebook misconfigured: %+v", cb)
+	}
+	if d := cb.MinDistance(); d < 32/8 {
+		t.Fatalf("min distance %d below guarantee", d)
+	}
+	for c := 0; c < 10; c++ {
+		for _, v := range cb.Code(c) {
+			if v != 1 && v != -1 {
+				t.Fatal("codeword entries must be ±1")
+			}
+		}
+	}
+}
+
+func TestCodebookBadConfigPanics(t *testing.T) {
+	rng := tensor.NewRNG(2)
+	for _, bad := range [][2]int{{1, 16}, {4, 1}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("expected panic for %v", bad)
+				}
+			}()
+			NewRandomCodebook(bad[0], bad[1], rng)
+		}()
+	}
+}
+
+func TestDecodeExactCodeword(t *testing.T) {
+	rng := tensor.NewRNG(3)
+	cb := NewRandomCodebook(6, 24, rng)
+	for c := 0; c < 6; c++ {
+		logits := make([]float32, 24)
+		for b, v := range cb.Code(c) {
+			logits[b] = float32(v) * 3 // confident logits matching the code
+		}
+		if got := cb.Decode(logits); got != c {
+			t.Fatalf("decode(%d's codeword) = %d", c, got)
+		}
+	}
+}
+
+func TestDecodeCorrectsFlippedBits(t *testing.T) {
+	rng := tensor.NewRNG(4)
+	cb := NewRandomCodebook(4, 32, rng)
+	canFix := (cb.MinDistance() - 1) / 2
+	if canFix < 1 {
+		t.Skip("code too weak at this seed")
+	}
+	logits := make([]float32, 32)
+	for b, v := range cb.Code(2) {
+		logits[b] = float32(v)
+	}
+	for f := 0; f < canFix; f++ { // flip the first canFix bits
+		logits[f] = -logits[f]
+	}
+	if got := cb.Decode(logits); got != 2 {
+		t.Fatalf("ECOC should correct %d flips, decoded %d", canFix, got)
+	}
+}
+
+func TestLossGradientNumeric(t *testing.T) {
+	rng := tensor.NewRNG(5)
+	cb := NewRandomCodebook(3, 8, rng)
+	logits := tensor.New(2, 8)
+	tensor.FillNormal(logits, rng, 0, 1)
+	labels := []int{1, 2}
+	_, grad := cb.Loss(logits, labels)
+	const eps = 1e-3
+	for i := 0; i < logits.Len(); i++ {
+		orig := logits.Data()[i]
+		logits.Data()[i] = orig + eps
+		lp, _ := cb.Loss(logits, labels)
+		logits.Data()[i] = orig - eps
+		lm, _ := cb.Loss(logits, labels)
+		logits.Data()[i] = orig
+		num := (lp - lm) / (2 * eps)
+		if diff := math.Abs(num - float64(grad.Data()[i])); diff > 1e-4 {
+			t.Fatalf("grad[%d]: numeric %v vs analytic %v", i, num, grad.Data()[i])
+		}
+	}
+}
+
+func TestLossDecreasesTowardCodeword(t *testing.T) {
+	// Gradient descent on the loss alone should drive logits toward the
+	// label's codeword signs.
+	rng := tensor.NewRNG(6)
+	cb := NewRandomCodebook(4, 16, rng)
+	logits := tensor.New(1, 16)
+	tensor.FillNormal(logits, rng, 0, 0.1)
+	labels := []int{3}
+	first, _ := cb.Loss(logits, labels)
+	for i := 0; i < 300; i++ {
+		_, g := cb.Loss(logits, labels)
+		logits.Axpy(-5, g)
+	}
+	last, _ := cb.Loss(logits, labels)
+	if last >= first {
+		t.Fatalf("loss did not decrease: %v -> %v", first, last)
+	}
+	if cb.Decode(logits.Row(0)) != 3 {
+		t.Fatal("optimized logits should decode to the label")
+	}
+	if acc := cb.Accuracy(logits, labels); acc != 1 {
+		t.Fatalf("accuracy %v", acc)
+	}
+}
+
+func TestLossGradRowsConsistentProperty(t *testing.T) {
+	// Each bit's gradient lies in (−1/N, +1/N) — σ−t01 ∈ (−1,1).
+	f := func(seed uint64) bool {
+		rng := tensor.NewRNG(seed)
+		cb := NewRandomCodebook(3, 8, rng)
+		n := 1 + int(rng.Uint64()%4)
+		logits := tensor.New(n, 8)
+		tensor.FillNormal(logits, rng, 0, 3)
+		labels := make([]int, n)
+		for i := range labels {
+			labels[i] = int(rng.Uint64() % 3)
+		}
+		_, g := cb.Loss(logits, labels)
+		bound := float32(1) / float32(n)
+		for _, v := range g.Data() {
+			if v <= -bound || v >= bound {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,106 @@
+package ecoc_test
+
+import (
+	"testing"
+
+	"github.com/ftpim/ftpim/internal/data"
+	"github.com/ftpim/ftpim/internal/ecoc"
+	"github.com/ftpim/ftpim/internal/fault"
+	"github.com/ftpim/ftpim/internal/models"
+	"github.com/ftpim/ftpim/internal/nn"
+	"github.com/ftpim/ftpim/internal/optim"
+	"github.com/ftpim/ftpim/internal/tensor"
+)
+
+// TestECOCComposesWithFTTraining demonstrates the paper's compatibility
+// claim: a network with an ECOC head trains through the same
+// stochastic fault-injection scheme, and the redundant code bits keep
+// decoding accuracy above the plain setup's collapse level under
+// faults.
+func TestECOCComposesWithFTTraining(t *testing.T) {
+	cfg := data.SynthConfig{
+		Classes: 4, TrainPer: 40, TestPer: 25,
+		Channels: 3, Size: 8, Basis: 10, CoefNoise: 0.1,
+		NoiseStd: 0.25, ShiftMax: 1, JitterStd: 0.1, Seed: 41,
+	}
+	train, test := data.Generate(cfg)
+	rng := tensor.NewRNG(9)
+	cb := ecoc.NewRandomCodebook(4, 16, rng.Stream("codes"))
+
+	// Conv trunk with a 16-bit ECOC head instead of 4 class logits.
+	net := models.BuildSimpleCNN(models.SimpleCNNConfig{
+		InChannels: 3, Width: 4, Classes: cb.Bits, Seed: 7,
+	})
+
+	// Hand-rolled training loop with fault injection: core.Train is
+	// wired to softmax-CE, so the ECOC loss drives the same machinery
+	// directly.
+	// Phase 1: clean pretraining; phase 2: stochastic FT retraining —
+	// the same protocol Algorithm 1 prescribes for the softmax head.
+	opt := optim.NewSGD(net.Params(), 0.05, 0.9, 1e-4)
+	loader := data.NewLoader(train, 16, data.Augment{Flip: true}, true, rng.Stream("shuffle"))
+	weights := weightTensors(net)
+	const pre, ft = 10, 8
+	sched := optim.NewCosine(0.05, pre)
+	ftSched := optim.NewCosine(0.02, ft)
+	for epoch := 0; epoch < pre+ft; epoch++ {
+		var dm *fault.DeviceMap
+		if epoch < pre {
+			opt.LR = sched.LR(epoch)
+		} else {
+			opt.LR = ftSched.LR(epoch - pre)
+			dm = fault.DrawDeviceMap(rng.StreamN("faults", epoch), fault.ChenModel(), weights, 0.05)
+		}
+		loader.Epoch()
+		for {
+			x, y := loader.Next()
+			if x == nil {
+				break
+			}
+			var lesion *fault.Lesion
+			if dm != nil {
+				lesion = dm.Apply(weights)
+			}
+			net.ZeroGrad()
+			out := net.Forward(x, true)
+			_, dOut := cb.Loss(out, y)
+			net.Backward(dOut)
+			if lesion != nil {
+				lesion.Undo()
+			}
+			opt.Step()
+		}
+	}
+
+	evalAcc := func() float64 {
+		c, h, w := test.Dims()
+		x := tensor.FromSlice(test.Images.Data(), test.N(), c, h, w)
+		return cb.Accuracy(net.Forward(x, false), test.Labels)
+	}
+	clean := evalAcc()
+	if clean < 0.6 {
+		t.Fatalf("ECOC+FT training did not learn: clean acc %.3f", clean)
+	}
+
+	// Under the training fault rate the decoded accuracy must stay well
+	// above chance (0.25).
+	inj := fault.NewInjector(fault.ChenModel(), weights)
+	var sum float64
+	const runs = 8
+	for run := 0; run < runs; run++ {
+		lesion := inj.Inject(rng.StreamN("eval", run), 0.05)
+		sum += evalAcc()
+		lesion.Undo()
+	}
+	if defect := sum / runs; defect < 0.4 {
+		t.Fatalf("ECOC+FT defect accuracy %.3f too close to chance", defect)
+	}
+}
+
+func weightTensors(net *nn.Network) []*tensor.Tensor {
+	var ts []*tensor.Tensor
+	for _, p := range net.WeightParams() {
+		ts = append(ts, p.W)
+	}
+	return ts
+}

@@ -1,0 +1,259 @@
+package experiments
+
+import (
+	"fmt"
+	"hash/fnv"
+	"os"
+	"path/filepath"
+
+	"github.com/ftpim/ftpim/internal/core"
+	"github.com/ftpim/ftpim/internal/data"
+	"github.com/ftpim/ftpim/internal/models"
+	"github.com/ftpim/ftpim/internal/nn"
+	"github.com/ftpim/ftpim/internal/prune"
+)
+
+// Env owns the datasets and trained models an experiment run needs.
+// Trained model states are cached in memory and, when CacheDir is set,
+// on disk keyed by a hash of the full Scale — so regenerating a table
+// reuses every previously trained model.
+type Env struct {
+	Scale    Scale
+	CacheDir string
+	Logf     func(format string, args ...any)
+
+	datasets map[string][2]*data.Dataset
+	nets     map[string]*nn.Network
+}
+
+// NewEnv creates an environment for the given preset.
+func NewEnv(preset, cacheDir string, logf func(string, ...any)) *Env {
+	return &Env{
+		Scale:    ScaleFor(preset),
+		CacheDir: cacheDir,
+		Logf:     logf,
+		datasets: map[string][2]*data.Dataset{},
+		nets:     map[string]*nn.Network{},
+	}
+}
+
+func (e *Env) logf(format string, args ...any) {
+	if e.Logf != nil {
+		e.Logf(format, args...)
+	}
+}
+
+// Dataset returns the train/test split for "c10" or "c100". The
+// "paper" preset loads real CIFAR binaries from data/cifar10 or
+// data/cifar100 when present, falling back to the synthetic generator.
+func (e *Env) Dataset(name string) (train, test *data.Dataset) {
+	if pair, ok := e.datasets[name]; ok {
+		return pair[0], pair[1]
+	}
+	var cfg data.SynthConfig
+	switch name {
+	case "c10":
+		cfg = e.Scale.C10
+	case "c100":
+		cfg = e.Scale.C100
+	default:
+		panic(fmt.Sprintf("experiments: unknown dataset %q", name))
+	}
+	if e.Scale.Name == "paper" {
+		var err error
+		if name == "c10" {
+			train, test, err = data.LoadCIFAR10Dir("data/cifar10")
+		} else {
+			train, test, err = data.LoadCIFAR100Dir("data/cifar100")
+		}
+		if err == nil {
+			e.logf("loaded real %s from disk (%d train / %d test)", name, train.N(), test.N())
+			e.datasets[name] = [2]*data.Dataset{train, test}
+			return train, test
+		}
+		e.logf("real %s unavailable (%v); generating synthetic substitute", name, err)
+	}
+	train, test = data.Generate(cfg)
+	e.datasets[name] = [2]*data.Dataset{train, test}
+	return train, test
+}
+
+// buildModel constructs the (untrained) architecture for a dataset.
+func (e *Env) buildModel(ds string) *nn.Network {
+	s := e.Scale
+	switch ds {
+	case "c10":
+		cfg := models.ResNetConfig{Depth: s.DepthC10, Classes: s.C10.Classes, InChannels: 3, WidthMult: s.Width, Seed: s.Seed}
+		return models.BuildResNet(cfg)
+	case "c100":
+		cfg := models.ResNetConfig{Depth: s.DepthC100, Classes: s.C100.Classes, InChannels: 3, WidthMult: s.Width, Seed: s.Seed}
+		return models.BuildResNet(cfg)
+	default:
+		panic(fmt.Sprintf("experiments: unknown dataset %q", ds))
+	}
+}
+
+// scaleHash folds the full Scale into the cache key so stale caches
+// from a different configuration are never reused.
+func (e *Env) scaleHash() uint64 {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%+v", e.Scale)
+	return h.Sum64()
+}
+
+// cached returns the model registered under key, training it with
+// train() (starting from build()) on a miss. Disk cache is consulted
+// when CacheDir is set.
+func (e *Env) cached(key string, build func() *nn.Network, train func(net *nn.Network)) *nn.Network {
+	if net, ok := e.nets[key]; ok {
+		return net
+	}
+	path := ""
+	if e.CacheDir != "" {
+		path = filepath.Join(e.CacheDir, fmt.Sprintf("%s-%016x.gob", key, e.scaleHash()))
+		if f, err := os.Open(path); err == nil {
+			net := build()
+			err = net.Load(f)
+			f.Close()
+			if err == nil {
+				e.logf("cache hit: %s", key)
+				e.nets[key] = net
+				return net
+			}
+			e.logf("cache for %s unreadable (%v); retraining", key, err)
+		}
+	}
+	net := build()
+	e.logf("training %s ...", key)
+	train(net)
+	e.nets[key] = net
+	if path != "" {
+		if err := os.MkdirAll(e.CacheDir, 0o755); err == nil {
+			if f, err := os.Create(path); err == nil {
+				if err := net.Save(f); err != nil {
+					e.logf("cache write for %s failed: %v", key, err)
+				}
+				f.Close()
+			}
+		}
+	}
+	return net
+}
+
+// trainCfg builds the shared training configuration.
+func (e *Env) trainCfg(epochs int, lr float64, seed uint64) core.Config {
+	s := e.Scale
+	return core.Config{
+		Epochs: epochs, Batch: s.Batch,
+		LR: lr, Momentum: s.Momentum, WeightDecay: s.WeightDecay,
+		Aug: s.Aug, Seed: seed, Logf: e.Logf,
+	}
+}
+
+// Pretrained returns the baseline well-trained model for a dataset
+// (the Acc_pretrain model of Figure 1).
+func (e *Env) Pretrained(ds string) *nn.Network {
+	train, _ := e.Dataset(ds)
+	return e.cached("pretrain-"+ds, func() *nn.Network { return e.buildModel(ds) },
+		func(net *nn.Network) {
+			core.Train(net, train, e.trainCfg(e.Scale.PretrainEpochs, e.Scale.LR, e.Scale.Seed))
+		})
+}
+
+// OneShot returns the one-shot stochastic FT model retrained from the
+// pretrained baseline at training rate Psa^T.
+func (e *Env) OneShot(ds string, rate float64) *nn.Network {
+	train, _ := e.Dataset(ds)
+	key := fmt.Sprintf("oneshot-%s-%g", ds, rate)
+	return e.cached(key, func() *nn.Network { return e.buildModel(ds) },
+		func(net *nn.Network) {
+			mustRestore(net, e.Pretrained(ds))
+			cfg := e.trainCfg(e.Scale.FTEpochs, e.Scale.FTLR, e.Scale.Seed+hash64(key))
+			core.OneShotFT(net, train, cfg, rate)
+		})
+}
+
+// Progressive returns the progressive stochastic FT model retrained
+// from the pretrained baseline up the ladder ending at Psa^T.
+func (e *Env) Progressive(ds string, rate float64) *nn.Network {
+	train, _ := e.Dataset(ds)
+	key := fmt.Sprintf("prog-%s-%g", ds, rate)
+	return e.cached(key, func() *nn.Network { return e.buildModel(ds) },
+		func(net *nn.Network) {
+			mustRestore(net, e.Pretrained(ds))
+			cfg := e.trainCfg(e.Scale.FTEpochs, e.Scale.FTLR, e.Scale.Seed+hash64(key))
+			ladder := core.Ladder(rate, e.Scale.ProgRungs)
+			core.ProgressiveFT(net, train, cfg, ladder, e.Scale.ProgEpochsPerStage)
+		})
+}
+
+// PrunedMagnitude returns the one-shot magnitude-pruned (and
+// fine-tuned) model at the given sparsity (Han et al. [27]).
+func (e *Env) PrunedMagnitude(ds string, sparsity float64) *nn.Network {
+	train, _ := e.Dataset(ds)
+	key := fmt.Sprintf("mag-%s-%g", ds, sparsity)
+	return e.cached(key, func() *nn.Network { return e.buildModel(ds) },
+		func(net *nn.Network) {
+			mustRestore(net, e.Pretrained(ds))
+			prune.MagnitudePrune(net.WeightParams(), sparsity, false)
+			core.Train(net, train, e.trainCfg(e.Scale.FinetuneEpochs, e.Scale.FTLR, e.Scale.Seed+hash64(key)))
+		})
+}
+
+// PrunedADMM returns the ADMM-pruned (and fine-tuned) model at the
+// given sparsity (Zhang et al. [12]).
+func (e *Env) PrunedADMM(ds string, sparsity float64) *nn.Network {
+	train, _ := e.Dataset(ds)
+	key := fmt.Sprintf("admm-%s-%g", ds, sparsity)
+	return e.cached(key, func() *nn.Network { return e.buildModel(ds) },
+		func(net *nn.Network) {
+			mustRestore(net, e.Pretrained(ds))
+			admm := prune.NewADMM(net.WeightParams(), sparsity, e.Scale.ADMMRho)
+			cfg := e.trainCfg(e.Scale.ADMMEpochs, e.Scale.FTLR, e.Scale.Seed+hash64(key))
+			cfg.ADMM = admm
+			cfg.ADMMInterval = 2
+			core.Train(net, train, cfg)
+			admm.Finalize()
+			core.Train(net, train, e.trainCfg(e.Scale.FinetuneEpochs, e.Scale.FTLR, e.Scale.Seed+hash64(key)+1))
+		})
+}
+
+// PrunedFT returns the ADMM-pruned model after stochastic FT
+// retraining (one-shot or progressive) at the given rate — the
+// Table II lower section.
+func (e *Env) PrunedFT(ds string, sparsity, rate float64, progressive bool) *nn.Network {
+	train, _ := e.Dataset(ds)
+	method := "os"
+	if progressive {
+		method = "prog"
+	}
+	key := fmt.Sprintf("admmft-%s-%g-%s-%g", ds, sparsity, method, rate)
+	return e.cached(key, func() *nn.Network { return e.buildModel(ds) },
+		func(net *nn.Network) {
+			mustRestore(net, e.PrunedADMM(ds, sparsity))
+			cfg := e.trainCfg(e.Scale.FTEpochs, e.Scale.FTLR, e.Scale.Seed+hash64(key))
+			if progressive {
+				core.ProgressiveFT(net, train, cfg, core.Ladder(rate, e.Scale.ProgRungs), e.Scale.ProgEpochsPerStage)
+			} else {
+				core.OneShotFT(net, train, cfg, rate)
+			}
+		})
+}
+
+// DefectEval returns the evaluation protocol at this scale.
+func (e *Env) DefectEval() core.DefectEval {
+	return core.DefectEval{Runs: e.Scale.DefectRuns, Batch: 128, Seed: e.Scale.Seed * 31}
+}
+
+// mustRestore copies src's state into dst (architectures must match).
+func mustRestore(dst, src *nn.Network) {
+	if err := dst.Restore(src.Snapshot()); err != nil {
+		panic(fmt.Sprintf("experiments: restore failed: %v", err))
+	}
+}
+
+func hash64(s string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(s))
+	return h.Sum64() % 1_000_000
+}

@@ -1,0 +1,56 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"github.com/ftpim/ftpim/internal/report"
+)
+
+// Figure2Result reproduces one panel of Figure 2: accuracy of the
+// dense model and its pruned variants (no FT training) across testing
+// fault rates.
+type Figure2Result struct {
+	Dataset   string
+	TestRates []float64
+	Series    []report.Series // Y in percent
+}
+
+// Figure2 evaluates the dense pretrained model plus one-shot-pruned and
+// ADMM-pruned variants at every configured sparsity, without any
+// fault-tolerant training — the paper's Figure 2 for one dataset.
+func Figure2(e *Env, ds string) *Figure2Result {
+	ev := e.DefectEval()
+	res := &Figure2Result{Dataset: ds, TestRates: e.Scale.TestRates}
+
+	add := func(name string, accs []float64) {
+		res.Series = append(res.Series, report.Series{Name: name, X: e.Scale.TestRates, Y: accs})
+	}
+
+	e.logf("figure2[%s]: dense", ds)
+	add("dense", sweepAccs(e, ds, e.Pretrained(ds), ev))
+	for _, sp := range e.Scale.Sparsities {
+		e.logf("figure2[%s]: one-shot pruned %.0f%%", ds, sp*100)
+		add(fmt.Sprintf("oneshot-pruned-%.0f%%", sp*100), sweepAccs(e, ds, e.PrunedMagnitude(ds, sp), ev))
+		e.logf("figure2[%s]: ADMM pruned %.0f%%", ds, sp*100)
+		add(fmt.Sprintf("admm-pruned-%.0f%%", sp*100), sweepAccs(e, ds, e.PrunedADMM(ds, sp), ev))
+	}
+	return res
+}
+
+// AccAt returns series s's accuracy (percent) at testing-rate index i.
+func (r *Figure2Result) AccAt(s, i int) float64 { return r.Series[s].Y[i] }
+
+// Plot renders the panel as an ASCII chart.
+func (r *Figure2Result) Plot() string {
+	var sb strings.Builder
+	report.AsciiPlot(&sb, fmt.Sprintf("Figure 2 (%s): accuracy %% vs testing failure rate (no FT training)", r.Dataset), r.Series, 40)
+	return sb.String()
+}
+
+// CSV renders the series as CSV.
+func (r *Figure2Result) CSV() string {
+	var sb strings.Builder
+	report.SeriesCSV(&sb, r.Series)
+	return sb.String()
+}

@@ -1,0 +1,134 @@
+package experiments
+
+import (
+	"fmt"
+
+	"github.com/ftpim/ftpim/internal/core"
+	"github.com/ftpim/ftpim/internal/nn"
+	"github.com/ftpim/ftpim/internal/report"
+)
+
+// Table2Row is one Table II row: a model's three accuracy stages plus
+// Stability Scores at the SS rates.
+type Table2Row struct {
+	Label       string
+	AccPretrain float64 // percent
+	AccRetrain  float64
+	AccDefect   []float64 // per SS rate, percent
+	SS          []float64
+}
+
+// Table2Section groups rows derived from one base model (pretrained or
+// ADMM-pruned).
+type Table2Section struct {
+	Title string
+	Rows  []Table2Row
+}
+
+// Table2Result reproduces Table II: accuracy and Stability Score of FT
+// models derived from the pretrained and the ADMM-pruned backbone.
+type Table2Result struct {
+	Dataset  string
+	Sparsity float64
+	SSRates  []float64
+	Sections []Table2Section
+}
+
+// table2FTRates is the Psa^T subset Table II evaluates.
+var table2FTRates = []float64{0.01, 0.05, 0.1}
+
+// Table2 runs the full Table II protocol on the 100-class task with
+// the highest configured sparsity (70% in the paper).
+func Table2(e *Env) *Table2Result {
+	ds := "c100"
+	_, test := e.Dataset(ds)
+	ev := e.DefectEval()
+	sparsity := e.Scale.Sparsities[len(e.Scale.Sparsities)-1]
+
+	res := &Table2Result{Dataset: ds, Sparsity: sparsity, SSRates: e.Scale.SSRates}
+
+	makeRow := func(label string, net *nn.Network, accPre float64) Table2Row {
+		rep := core.Stability(net, test, accPre, e.Scale.SSRates, ev)
+		row := Table2Row{
+			Label:       label,
+			AccPretrain: accPre * 100,
+			AccRetrain:  rep.AccRetrain * 100,
+		}
+		for i := range rep.Rates {
+			row.AccDefect = append(row.AccDefect, rep.AccDefect[i]*100)
+			// SS is unit-free; recompute on percent to match the paper.
+			row.SS = append(row.SS, rep.SS[i])
+		}
+		return row
+	}
+
+	// Section 1: FT models derived from the dense pretrained model.
+	base := e.Pretrained(ds)
+	accPre := core.EvalClean(base, test, ev.Batch)
+	sec1 := Table2Section{Title: fmt.Sprintf("Pretrained backbone (accuracy = %.2f%%)", accPre*100)}
+	sec1.Rows = append(sec1.Rows, makeRow("Baseline (no FT)", base, accPre))
+	for _, rate := range table2FTRates {
+		sec1.Rows = append(sec1.Rows,
+			makeRow(fmt.Sprintf("One-Shot Psa^T=%g", rate), e.OneShot(ds, rate), accPre))
+	}
+	for _, rate := range table2FTRates {
+		sec1.Rows = append(sec1.Rows,
+			makeRow(fmt.Sprintf("Progressive Psa^T=%g", rate), e.Progressive(ds, rate), accPre))
+	}
+	res.Sections = append(res.Sections, sec1)
+
+	// Section 2: FT models derived from the ADMM-pruned model.
+	pruned := e.PrunedADMM(ds, sparsity)
+	accPruned := core.EvalClean(pruned, test, ev.Batch)
+	sec2 := Table2Section{Title: fmt.Sprintf("ADMM-pruned backbone, %.0f%% sparsity (accuracy = %.2f%%)",
+		sparsity*100, accPruned*100)}
+	sec2.Rows = append(sec2.Rows, makeRow("Baseline pruned (no FT)", pruned, accPruned))
+	for _, rate := range table2FTRates {
+		sec2.Rows = append(sec2.Rows,
+			makeRow(fmt.Sprintf("One-Shot Psa^T=%g", rate), e.PrunedFT(ds, sparsity, rate, false), accPruned))
+	}
+	for _, rate := range table2FTRates {
+		sec2.Rows = append(sec2.Rows,
+			makeRow(fmt.Sprintf("Progressive Psa^T=%g", rate), e.PrunedFT(ds, sparsity, rate, true), accPruned))
+	}
+	res.Sections = append(res.Sections, sec2)
+	return res
+}
+
+// Table renders the result in the paper's Table II layout.
+func (r *Table2Result) Table() *report.Table {
+	header := []string{"Method", "AccPre", "AccRetrain"}
+	for _, rate := range r.SSRates {
+		header = append(header, fmt.Sprintf("AccDef(%g)", rate))
+	}
+	for _, rate := range r.SSRates {
+		header = append(header, fmt.Sprintf("SS(%g)", rate))
+	}
+	t := report.NewTable(
+		fmt.Sprintf("Table II (%s): accuracy and Stability Score, pretrained vs ADMM-pruned (%.0f%%)",
+			r.Dataset, r.Sparsity*100),
+		header...)
+	for _, sec := range r.Sections {
+		t.AddRow("— " + sec.Title)
+		for _, row := range sec.Rows {
+			cells := []string{row.Label,
+				fmt.Sprintf("%.2f", row.AccPretrain),
+				fmt.Sprintf("%.2f", row.AccRetrain)}
+			for _, a := range row.AccDefect {
+				cells = append(cells, fmt.Sprintf("%.2f", a))
+			}
+			for _, s := range row.SS {
+				cells = append(cells, formatSS(s))
+			}
+			t.AddRow(cells...)
+		}
+	}
+	return t
+}
+
+func formatSS(v float64) string {
+	if v > 1e6 {
+		return "inf"
+	}
+	return fmt.Sprintf("%.2f", v)
+}

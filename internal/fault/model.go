@@ -1,0 +1,173 @@
+// Package fault implements the weight-level ReRAM stuck-at-fault model
+// the paper evaluates with: every weight cell independently fails with
+// probability Psa, splitting into stuck-off (SA0) and stuck-on (SA1)
+// faults at the empirically reported ratio 1.75 : 9.04 (Chen et al.,
+// march-test RRAM defect modeling [23]).
+//
+// A stuck-off cell reads as minimum conductance — the weight drops to
+// zero. A stuck-on cell reads as maximum conductance — under the
+// differential two-cell mapping the weight is dragged to +wmax or
+// −wmax depending on which cell of the pair sticks, so the sign is
+// drawn uniformly. Because most faults are stuck-on, even small Psa
+// scatters full-magnitude outliers through the weight tensor, which is
+// what collapses the baseline models in Table I.
+package fault
+
+import (
+	"fmt"
+
+	"github.com/ftpim/ftpim/internal/tensor"
+)
+
+// Kind labels one stuck-at fault.
+type Kind uint8
+
+// Fault kinds.
+const (
+	SA0 Kind = iota // stuck-off: weight → 0
+	SA1             // stuck-on: weight → ±wmax
+)
+
+func (k Kind) String() string {
+	if k == SA0 {
+		return "SA0"
+	}
+	return "SA1"
+}
+
+// Model fixes the SA0/SA1 split of the overall stuck-at rate.
+type Model struct {
+	// Ratio0 and Ratio1 are the relative weights of SA0 and SA1.
+	// Only their ratio matters; they are normalized internally.
+	Ratio0, Ratio1 float64
+}
+
+// ChenModel returns the fault mix measured by Chen et al. [23] and
+// adopted by the paper: Psa0 : Psa1 = 1.75 : 9.04.
+func ChenModel() Model { return Model{Ratio0: 1.75, Ratio1: 9.04} }
+
+// Uniform returns a model with equal SA0/SA1 probability, used by
+// ablations.
+func Uniform() Model { return Model{Ratio0: 1, Ratio1: 1} }
+
+// P1 returns the conditional probability that a fault is stuck-on.
+func (m Model) P1() float64 {
+	s := m.Ratio0 + m.Ratio1
+	if s <= 0 {
+		panic(fmt.Sprintf("fault: degenerate model %+v", m))
+	}
+	return m.Ratio1 / s
+}
+
+// Split decomposes a total stuck-at rate into (psa0, psa1).
+func (m Model) Split(psa float64) (psa0, psa1 float64) {
+	p1 := m.P1()
+	return psa * (1 - p1), psa * p1
+}
+
+// entry records one applied fault for undo.
+type entry struct {
+	idx int32
+	old float32
+}
+
+// Lesion is the undoable record of one fault-injection pass over a set
+// of weight tensors. Undo restores the exact pre-injection weights.
+type Lesion struct {
+	tensors []*tensor.Tensor
+	undo    [][]entry
+	nSA0    int
+	nSA1    int
+	total   int // total weight elements covered
+}
+
+// Counts returns the number of injected SA0 and SA1 faults.
+func (l *Lesion) Counts() (sa0, sa1 int) { return l.nSA0, l.nSA1 }
+
+// Rate returns the realized fault fraction over the covered weights.
+func (l *Lesion) Rate() float64 {
+	if l.total == 0 {
+		return 0
+	}
+	return float64(l.nSA0+l.nSA1) / float64(l.total)
+}
+
+// Undo restores every faulted weight to its original value. Safe to
+// call exactly once; subsequent calls are no-ops.
+func (l *Lesion) Undo() {
+	for ti, t := range l.tensors {
+		d := t.Data()
+		es := l.undo[ti]
+		// Reverse order so double-faulted cells restore correctly.
+		for i := len(es) - 1; i >= 0; i-- {
+			d[es[i].idx] = es[i].old
+		}
+		l.undo[ti] = es[:0]
+	}
+}
+
+// Injector draws stuck-at faults over a set of weight tensors.
+//
+// Each tensor uses its own symmetric range [−wmax, +wmax] with
+// wmax = max|w| at injection time, mirroring per-layer crossbar scaling
+// (every layer's weights are programmed with their own conductance
+// scale, so a stuck-on cell saturates at that layer's maximum).
+type Injector struct {
+	Model   Model
+	Tensors []*tensor.Tensor
+}
+
+// NewInjector builds an injector over the given weight tensors.
+func NewInjector(m Model, tensors []*tensor.Tensor) *Injector {
+	return &Injector{Model: m, Tensors: tensors}
+}
+
+// Inject applies stuck-at faults with total rate psa, drawing from
+// rng, and returns the lesion for undo. Every weight element fails
+// independently with probability psa (exact Bernoulli process — no
+// approximation), split between SA0/SA1 by the model.
+func (inj *Injector) Inject(rng *tensor.RNG, psa float64) *Lesion {
+	if psa < 0 || psa > 1 {
+		panic(fmt.Sprintf("fault: psa %v out of [0,1]", psa))
+	}
+	l := &Lesion{
+		tensors: inj.Tensors,
+		undo:    make([][]entry, len(inj.Tensors)),
+	}
+	if psa == 0 {
+		return l
+	}
+	p1 := inj.Model.P1()
+	for ti, t := range inj.Tensors {
+		d := t.Data()
+		l.total += len(d)
+		wmax := t.MaxAbs()
+		for i := range d {
+			if rng.Float64() >= psa {
+				continue
+			}
+			l.undo[ti] = append(l.undo[ti], entry{idx: int32(i), old: d[i]})
+			if rng.Float64() < p1 { // stuck-on
+				if rng.Uint64()%2 == 0 {
+					d[i] = wmax
+				} else {
+					d[i] = -wmax
+				}
+				l.nSA1++
+			} else { // stuck-off
+				d[i] = 0
+				l.nSA0++
+			}
+		}
+	}
+	return l
+}
+
+// NumWeights returns the total number of weight elements covered.
+func (inj *Injector) NumWeights() int {
+	n := 0
+	for _, t := range inj.Tensors {
+		n += t.Len()
+	}
+	return n
+}

@@ -1,0 +1,72 @@
+package fault
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+)
+
+// deviceMapWire is the gob wire format of a DeviceMap. In a
+// mass-production flow the march-test station measures each unit's
+// defect map once and archives it; Save/Load let those profiles be
+// stored next to the golden model and replayed in simulation.
+type deviceMapWire struct {
+	Psa    float64
+	Shapes [][]int
+	Idx    [][]int32
+	Kind   [][]uint8
+	Sign   [][]int8
+}
+
+// Save serializes the device map.
+func (dm *DeviceMap) Save(w io.Writer) error {
+	wire := deviceMapWire{Psa: dm.Psa, Shapes: dm.shapes}
+	for _, fs := range dm.faults {
+		var idx []int32
+		var kind []uint8
+		var sign []int8
+		for _, f := range fs {
+			idx = append(idx, f.idx)
+			kind = append(kind, uint8(f.kind))
+			sign = append(sign, f.sign)
+		}
+		wire.Idx = append(wire.Idx, idx)
+		wire.Kind = append(wire.Kind, kind)
+		wire.Sign = append(wire.Sign, sign)
+	}
+	return gob.NewEncoder(w).Encode(&wire)
+}
+
+// LoadDeviceMap deserializes a device map written by Save.
+func LoadDeviceMap(r io.Reader) (*DeviceMap, error) {
+	var wire deviceMapWire
+	if err := gob.NewDecoder(r).Decode(&wire); err != nil {
+		return nil, err
+	}
+	if len(wire.Idx) != len(wire.Shapes) || len(wire.Kind) != len(wire.Idx) || len(wire.Sign) != len(wire.Idx) {
+		return nil, fmt.Errorf("fault: corrupt device map (ragged sections)")
+	}
+	dm := &DeviceMap{Psa: wire.Psa, shapes: wire.Shapes}
+	for ti := range wire.Idx {
+		if len(wire.Kind[ti]) != len(wire.Idx[ti]) || len(wire.Sign[ti]) != len(wire.Idx[ti]) {
+			return nil, fmt.Errorf("fault: corrupt device map (tensor %d)", ti)
+		}
+		n := 1
+		for _, d := range wire.Shapes[ti] {
+			n *= d
+		}
+		var fs []pinnedFault
+		for i, idx := range wire.Idx[ti] {
+			if idx < 0 || int(idx) >= n {
+				return nil, fmt.Errorf("fault: corrupt device map (index %d out of %d)", idx, n)
+			}
+			k := Kind(wire.Kind[ti][i])
+			if k != SA0 && k != SA1 {
+				return nil, fmt.Errorf("fault: corrupt device map (kind %d)", k)
+			}
+			fs = append(fs, pinnedFault{idx: idx, kind: k, sign: wire.Sign[ti][i]})
+		}
+		dm.faults = append(dm.faults, fs)
+	}
+	return dm, nil
+}

@@ -1,0 +1,80 @@
+package fault
+
+import (
+	"bytes"
+	"testing"
+
+	"github.com/ftpim/ftpim/internal/tensor"
+)
+
+func TestDeviceMapSaveLoadRoundTrip(t *testing.T) {
+	r := tensor.NewRNG(31)
+	ts := randTensors(r, 300, 70)
+	dm := DrawDeviceMap(r.Stream("dev"), ChenModel(), ts, 0.08)
+
+	var buf bytes.Buffer
+	if err := dm.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	dm2, err := LoadDeviceMap(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dm2.Psa != dm.Psa || dm2.NumFaults() != dm.NumFaults() {
+		t.Fatalf("metadata mismatch: %v/%d vs %v/%d", dm2.Psa, dm2.NumFaults(), dm.Psa, dm.NumFaults())
+	}
+	// Applying both maps must produce identical weights.
+	l1 := dm.Apply(ts)
+	after1 := []*tensor.Tensor{ts[0].Clone(), ts[1].Clone()}
+	l1.Undo()
+	l2 := dm2.Apply(ts)
+	if !ts[0].Equal(after1[0]) || !ts[1].Equal(after1[1]) {
+		t.Fatal("loaded map applies differently")
+	}
+	l2.Undo()
+}
+
+func TestDeviceMapSaveLoadEmpty(t *testing.T) {
+	r := tensor.NewRNG(32)
+	ts := randTensors(r, 50)
+	dm := DrawDeviceMap(r.Stream("dev"), ChenModel(), ts, 0) // no faults
+	var buf bytes.Buffer
+	if err := dm.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	dm2, err := LoadDeviceMap(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dm2.NumFaults() != 0 {
+		t.Fatal("empty map should stay empty")
+	}
+	dm2.Apply(ts).Undo() // and still apply cleanly
+}
+
+func TestLoadDeviceMapGarbage(t *testing.T) {
+	if _, err := LoadDeviceMap(bytes.NewReader([]byte("not a gob"))); err == nil {
+		t.Fatal("expected error on garbage")
+	}
+}
+
+func TestLoadDeviceMapOutOfRangeIndex(t *testing.T) {
+	// Hand-craft a wire struct with a bad index via the public API:
+	// save a valid map, then corrupt the payload is brittle; instead
+	// encode a wire with the same gob type name through Save's path by
+	// constructing a DeviceMap whose shape shrank.
+	r := tensor.NewRNG(33)
+	ts := randTensors(r, 100)
+	dm := DrawDeviceMap(r.Stream("dev"), ChenModel(), ts, 0.2)
+	if dm.NumFaults() == 0 {
+		t.Skip("no faults drawn")
+	}
+	dm.shapes[0] = []int{1} // pretend the tensor is tiny
+	var buf bytes.Buffer
+	if err := dm.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadDeviceMap(&buf); err == nil {
+		t.Fatal("expected out-of-range index error")
+	}
+}

@@ -1,0 +1,112 @@
+// Package metrics provides evaluation helpers (batched accuracy),
+// summary statistics for repeated defect runs, and the paper's
+// Stability Score.
+package metrics
+
+import (
+	"math"
+	"sort"
+
+	"github.com/ftpim/ftpim/internal/data"
+	"github.com/ftpim/ftpim/internal/nn"
+	"github.com/ftpim/ftpim/internal/tensor"
+)
+
+// Evaluate returns the top-1 accuracy of net on ds, evaluated in
+// inference mode with the given batch size.
+func Evaluate(net *nn.Network, ds *data.Dataset, batch int) float64 {
+	if batch <= 0 {
+		batch = 64
+	}
+	n := ds.N()
+	c, h, w := ds.Dims()
+	stride := c * h * w
+	correct := 0
+	for start := 0; start < n; start += batch {
+		bs := batch
+		if start+bs > n {
+			bs = n - start
+		}
+		x := tensor.FromSlice(ds.Images.Data()[start*stride:(start+bs)*stride], bs, c, h, w)
+		out := net.Forward(x, false)
+		for i := 0; i < bs; i++ {
+			if out.ArgMaxRow(i) == ds.Labels[start+i] {
+				correct++
+			}
+		}
+	}
+	return float64(correct) / float64(n)
+}
+
+// Summary aggregates repeated measurements (e.g. defect-run accuracy).
+type Summary struct {
+	N    int
+	Mean float64
+	Std  float64
+	Min  float64
+	Max  float64
+	P50  float64
+}
+
+// Summarize computes a Summary over values.
+func Summarize(values []float64) Summary {
+	s := Summary{N: len(values)}
+	if s.N == 0 {
+		return s
+	}
+	s.Min, s.Max = values[0], values[0]
+	var sum float64
+	for _, v := range values {
+		sum += v
+		if v < s.Min {
+			s.Min = v
+		}
+		if v > s.Max {
+			s.Max = v
+		}
+	}
+	s.Mean = sum / float64(s.N)
+	var sq float64
+	for _, v := range values {
+		d := v - s.Mean
+		sq += d * d
+	}
+	if s.N > 1 {
+		s.Std = math.Sqrt(sq / float64(s.N-1))
+	}
+	sorted := append([]float64(nil), values...)
+	sort.Float64s(sorted)
+	if s.N%2 == 1 {
+		s.P50 = sorted[s.N/2]
+	} else {
+		s.P50 = 0.5 * (sorted[s.N/2-1] + sorted[s.N/2])
+	}
+	return s
+}
+
+// CI95 returns the half-width of the 95% confidence interval of the
+// mean (normal approximation).
+func (s Summary) CI95() float64 {
+	if s.N < 2 {
+		return 0
+	}
+	return 1.96 * s.Std / math.Sqrt(float64(s.N))
+}
+
+// StabilityScore implements the paper's Eq. (1):
+//
+//	SS(Psa) = Acc_retrain / (Acc_pretrain − Acc_defect).
+//
+// All accuracies share one unit (fraction or percent — the score is
+// only unit-free if Acc units match; the paper uses percent). A higher
+// score means less degradation from the ideal accuracy while keeping an
+// appealing retrained accuracy. When the defect accuracy matches or
+// exceeds the pretrained accuracy the degradation is zero and the
+// score is +Inf.
+func StabilityScore(accRetrain, accPretrain, accDefect float64) float64 {
+	denom := accPretrain - accDefect
+	if denom <= 0 {
+		return math.Inf(1)
+	}
+	return accRetrain / denom
+}

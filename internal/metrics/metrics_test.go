@@ -1,0 +1,123 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"github.com/ftpim/ftpim/internal/data"
+	"github.com/ftpim/ftpim/internal/models"
+	"github.com/ftpim/ftpim/internal/tensor"
+)
+
+func TestSummarizeBasics(t *testing.T) {
+	s := Summarize([]float64{1, 2, 3, 4})
+	if s.N != 4 || s.Mean != 2.5 || s.Min != 1 || s.Max != 4 || s.P50 != 2.5 {
+		t.Fatalf("summary %+v", s)
+	}
+	// Sample std of {1,2,3,4} is sqrt(5/3).
+	if math.Abs(s.Std-math.Sqrt(5.0/3)) > 1e-12 {
+		t.Fatalf("std=%v", s.Std)
+	}
+}
+
+func TestSummarizeEmptyAndSingle(t *testing.T) {
+	if s := Summarize(nil); s.N != 0 || s.Mean != 0 {
+		t.Fatal("empty summary should be zero")
+	}
+	s := Summarize([]float64{7})
+	if s.Mean != 7 || s.Std != 0 || s.P50 != 7 || s.CI95() != 0 {
+		t.Fatalf("single summary %+v", s)
+	}
+}
+
+func TestSummarizeOddMedian(t *testing.T) {
+	s := Summarize([]float64{9, 1, 5})
+	if s.P50 != 5 {
+		t.Fatalf("median=%v", s.P50)
+	}
+}
+
+func TestSummarizeBoundsProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := tensor.NewRNG(seed)
+		n := 1 + int(r.Uint64()%50)
+		vs := make([]float64, n)
+		for i := range vs {
+			vs[i] = r.NormFloat64() * 10
+		}
+		s := Summarize(vs)
+		return s.Min <= s.Mean && s.Mean <= s.Max &&
+			s.Min <= s.P50 && s.P50 <= s.Max && s.Std >= 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStabilityScorePaperValues(t *testing.T) {
+	// Table II baseline row: 75.10/(75.10−2.97) ≈ 1.04.
+	ss := StabilityScore(75.10, 75.10, 2.97)
+	if math.Abs(ss-1.0412) > 0.001 {
+		t.Fatalf("SS=%v want ≈1.041", ss)
+	}
+	// One-shot 0.05 row: 75.38/(75.10−73.03) ≈ 36.4.
+	ss = StabilityScore(75.38, 75.10, 73.03)
+	if math.Abs(ss-36.42) > 0.05 {
+		t.Fatalf("SS=%v want ≈36.4", ss)
+	}
+}
+
+func TestStabilityScoreInfWhenNoDegradation(t *testing.T) {
+	if !math.IsInf(StabilityScore(90, 90, 90), 1) {
+		t.Fatal("zero degradation should be +Inf")
+	}
+	if !math.IsInf(StabilityScore(90, 90, 95), 1) {
+		t.Fatal("negative degradation should be +Inf")
+	}
+}
+
+func TestStabilityScoreMonotoneInDefectAcc(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := tensor.NewRNG(seed)
+		pre := 50 + 40*r.Float64()
+		re := pre + r.NormFloat64()
+		d1 := pre * r.Float64() * 0.9
+		d2 := d1 + (pre-d1)*0.5*r.Float64()
+		// d2 >= d1 → SS(d2) >= SS(d1)
+		return StabilityScore(re, pre, d2) >= StabilityScore(re, pre, d1)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEvaluateOnUntrainedIsChanceLevel(t *testing.T) {
+	cfg := data.SynthConfig{
+		Classes: 5, TrainPer: 2, TestPer: 40,
+		Channels: 3, Size: 8, Basis: 8,
+		NoiseStd: 0.3, ShiftMax: 1, JitterStd: 0.1, Seed: 11,
+	}
+	_, test := data.Generate(cfg)
+	net := models.BuildSimpleCNN(models.SimpleCNNConfig{InChannels: 3, Width: 4, Classes: 5, Seed: 2})
+	acc := Evaluate(net, test, 32)
+	if acc < 0.02 || acc > 0.65 {
+		t.Fatalf("untrained accuracy %v looks wrong", acc)
+	}
+}
+
+func TestEvaluateBatchSizeInvariance(t *testing.T) {
+	cfg := data.SynthConfig{
+		Classes: 3, TrainPer: 2, TestPer: 15,
+		Channels: 3, Size: 8, Basis: 6,
+		NoiseStd: 0.3, ShiftMax: 1, JitterStd: 0.1, Seed: 12,
+	}
+	_, test := data.Generate(cfg)
+	net := models.BuildSimpleCNN(models.SimpleCNNConfig{InChannels: 3, Width: 4, Classes: 3, Seed: 3})
+	a1 := Evaluate(net, test, 7)
+	a2 := Evaluate(net, test, 45)
+	a3 := Evaluate(net, test, 1)
+	if a1 != a2 || a2 != a3 {
+		t.Fatalf("accuracy depends on batch size: %v %v %v", a1, a2, a3)
+	}
+}

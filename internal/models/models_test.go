@@ -1,0 +1,136 @@
+package models
+
+import (
+	"testing"
+
+	"github.com/ftpim/ftpim/internal/tensor"
+)
+
+func TestResNet20ParamCountPaperScale(t *testing.T) {
+	net := BuildResNet(ResNet20(10))
+	// The canonical CIFAR ResNet-20 has ~0.27M parameters.
+	n := net.NumParams()
+	if n < 260_000 || n > 290_000 {
+		t.Fatalf("ResNet-20 params = %d, want ≈272k", n)
+	}
+}
+
+func TestResNet32Deeper(t *testing.T) {
+	n20 := BuildResNet(ResNet20(10)).NumParams()
+	n32 := BuildResNet(ResNet32(10)).NumParams()
+	if n32 <= n20 {
+		t.Fatalf("ResNet-32 (%d) should have more params than ResNet-20 (%d)", n32, n20)
+	}
+}
+
+func TestResNetForwardShape(t *testing.T) {
+	cfg := ResNet20(10).Scaled(0.25)
+	net := BuildResNet(cfg)
+	x := tensor.New(2, 3, 16, 16)
+	tensor.FillNormal(x, tensor.NewRNG(1), 0, 1)
+	y := net.Forward(x, false)
+	if y.Dim(0) != 2 || y.Dim(1) != 10 {
+		t.Fatalf("output shape %v", y.Shape())
+	}
+	if !y.IsFinite() {
+		t.Fatal("forward produced NaN/Inf")
+	}
+}
+
+func TestResNetTrainEvalForwardBothWork(t *testing.T) {
+	net := BuildResNet(ResNetConfig{Depth: 8, Classes: 5, InChannels: 3, WidthMult: 0.25, Seed: 3})
+	x := tensor.New(4, 3, 8, 8)
+	tensor.FillNormal(x, tensor.NewRNG(2), 0, 1)
+	yt := net.Forward(x, true)
+	ye := net.Forward(x, false)
+	if !yt.IsFinite() || !ye.IsFinite() {
+		t.Fatal("NaN in forward")
+	}
+}
+
+func TestResNetBadDepthPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on depth 21")
+		}
+	}()
+	BuildResNet(ResNetConfig{Depth: 21, Classes: 10})
+}
+
+func TestResNetDeterministicInit(t *testing.T) {
+	a := BuildResNet(ResNet20(10).Scaled(0.25))
+	b := BuildResNet(ResNet20(10).Scaled(0.25))
+	pa, pb := a.Params(), b.Params()
+	for i := range pa {
+		if !pa[i].W.Equal(pb[i].W) {
+			t.Fatalf("param %d (%s) differs between identical builds", i, pa[i].Name)
+		}
+	}
+}
+
+func TestResNetWidthMultShrinks(t *testing.T) {
+	full := BuildResNet(ResNet20(10)).NumParams()
+	quarter := BuildResNet(ResNet20(10).Scaled(0.25)).NumParams()
+	if quarter >= full/4 {
+		t.Fatalf("quarter width should shrink params much more than 4x: %d vs %d", quarter, full)
+	}
+}
+
+func TestResNetMinWidthFloor(t *testing.T) {
+	cfg := ResNet20(10).Scaled(0.01)
+	w := cfg.widths()
+	for _, x := range w {
+		if x < 4 {
+			t.Fatalf("width floor violated: %v", w)
+		}
+	}
+	// And it still builds and runs.
+	net := BuildResNet(cfg)
+	x := tensor.New(1, 3, 8, 8)
+	if out := net.Forward(x, false); out.Dim(1) != 10 {
+		t.Fatal("tiny ResNet broken")
+	}
+}
+
+func TestSimpleCNNForward(t *testing.T) {
+	net := BuildSimpleCNN(SimpleCNNConfig{InChannels: 3, Width: 4, Classes: 7, Seed: 1})
+	x := tensor.New(2, 3, 10, 10)
+	tensor.FillNormal(x, tensor.NewRNG(5), 0, 1)
+	y := net.Forward(x, false)
+	if y.Dim(1) != 7 {
+		t.Fatalf("SimpleCNN output %v", y.Shape())
+	}
+}
+
+func TestMLPForwardAndDepth(t *testing.T) {
+	net := BuildMLP(MLPConfig{In: 12, Hidden: []int{16, 8}, Classes: 3, Seed: 1})
+	x := tensor.New(5, 12)
+	tensor.FillNormal(x, tensor.NewRNG(6), 0, 1)
+	y := net.Forward(x, false)
+	if y.Dim(0) != 5 || y.Dim(1) != 3 {
+		t.Fatalf("MLP output %v", y.Shape())
+	}
+	// 3 linear layers → 6 params (W+b each).
+	if len(net.Params()) != 6 {
+		t.Fatalf("MLP param groups = %d", len(net.Params()))
+	}
+}
+
+func TestNumBlocks(t *testing.T) {
+	if NumBlocks(20) != 9 || NumBlocks(32) != 15 {
+		t.Fatalf("NumBlocks wrong: %d %d", NumBlocks(20), NumBlocks(32))
+	}
+}
+
+func TestResNetAcceptsNonStandardInputSize(t *testing.T) {
+	// The all-conv + GAP topology is input-size agnostic; the repro
+	// preset relies on this with 16×16 images.
+	net := BuildResNet(ResNet20(10).Scaled(0.25))
+	for _, size := range []int{8, 12, 16, 32} {
+		x := tensor.New(1, 3, size, size)
+		y := net.Forward(x, false)
+		if y.Dim(1) != 10 {
+			t.Fatalf("size %d failed", size)
+		}
+	}
+}

@@ -1,0 +1,64 @@
+package models
+
+import (
+	"fmt"
+
+	"github.com/ftpim/ftpim/internal/nn"
+	"github.com/ftpim/ftpim/internal/tensor"
+)
+
+// SimpleCNNConfig describes a small conv-BN-ReLU stack with one
+// downsampling step, used by fast tests and the quickstart example.
+type SimpleCNNConfig struct {
+	InChannels int
+	Width      int
+	Classes    int
+	Seed       uint64
+}
+
+// BuildSimpleCNN constructs conv(w)-BN-ReLU-conv(2w,s2)-BN-ReLU-GAP-FC.
+func BuildSimpleCNN(cfg SimpleCNNConfig) *nn.Network {
+	if cfg.Width <= 0 || cfg.Classes <= 0 {
+		panic(fmt.Sprintf("models: invalid SimpleCNN config %+v", cfg))
+	}
+	if cfg.InChannels <= 0 {
+		cfg.InChannels = 3
+	}
+	rng := tensor.NewRNG(cfg.Seed).Stream("simplecnn-init")
+	return nn.NewNetwork(
+		nn.NewConv2D("conv1", cfg.InChannels, cfg.Width, 3, 3, 1, 1, false, rng),
+		nn.NewBatchNorm2D("bn1", cfg.Width),
+		nn.NewReLU(),
+		nn.NewConv2D("conv2", cfg.Width, 2*cfg.Width, 3, 3, 2, 1, false, rng),
+		nn.NewBatchNorm2D("bn2", 2*cfg.Width),
+		nn.NewReLU(),
+		nn.NewGlobalAvgPool2D(),
+		nn.NewLinear("fc", 2*cfg.Width, cfg.Classes, rng),
+	)
+}
+
+// MLPConfig describes a plain multilayer perceptron over flattened
+// inputs; handy for the fastest unit tests.
+type MLPConfig struct {
+	In      int
+	Hidden  []int
+	Classes int
+	Seed    uint64
+}
+
+// BuildMLP constructs Flatten-(Linear-ReLU)*-Linear.
+func BuildMLP(cfg MLPConfig) *nn.Network {
+	if cfg.In <= 0 || cfg.Classes <= 0 {
+		panic(fmt.Sprintf("models: invalid MLP config %+v", cfg))
+	}
+	rng := tensor.NewRNG(cfg.Seed).Stream("mlp-init")
+	var layers []nn.Layer
+	layers = append(layers, nn.NewFlatten())
+	in := cfg.In
+	for i, h := range cfg.Hidden {
+		layers = append(layers, nn.NewLinear(fmt.Sprintf("fc%d", i+1), in, h, rng), nn.NewReLU())
+		in = h
+	}
+	layers = append(layers, nn.NewLinear("out", in, cfg.Classes, rng))
+	return nn.NewNetwork(layers...)
+}

@@ -1,0 +1,129 @@
+package nn
+
+import "github.com/ftpim/ftpim/internal/tensor"
+
+// ReLU is the rectified linear activation, max(0, x).
+type ReLU struct {
+	mask []bool
+}
+
+// NewReLU returns a ReLU layer.
+func NewReLU() *ReLU { return &ReLU{} }
+
+// Forward clamps negatives to zero, caching the active mask for
+// backward when training.
+func (r *ReLU) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	out := tensor.New(x.Shape()...)
+	xd, od := x.Data(), out.Data()
+	if train {
+		if len(r.mask) < len(xd) {
+			r.mask = make([]bool, len(xd))
+		}
+		for i, v := range xd {
+			if v > 0 {
+				od[i] = v
+				r.mask[i] = true
+			} else {
+				r.mask[i] = false
+			}
+		}
+	} else {
+		for i, v := range xd {
+			if v > 0 {
+				od[i] = v
+			}
+		}
+	}
+	return out
+}
+
+// Backward gates the gradient by the cached activation mask.
+func (r *ReLU) Backward(dOut *tensor.Tensor) *tensor.Tensor {
+	dX := tensor.New(dOut.Shape()...)
+	dd, dxd := dOut.Data(), dX.Data()
+	for i, v := range dd {
+		if r.mask[i] {
+			dxd[i] = v
+		}
+	}
+	return dX
+}
+
+// Params returns nil; ReLU has no parameters.
+func (r *ReLU) Params() []*Param { return nil }
+
+// Flatten reshapes (N, C, H, W) to (N, C·H·W).
+type Flatten struct {
+	lastShape []int
+}
+
+// NewFlatten returns a Flatten layer.
+func NewFlatten() *Flatten { return &Flatten{} }
+
+// Forward flattens all but the batch dimension.
+func (f *Flatten) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	f.lastShape = x.Shape()
+	n := x.Dim(0)
+	return x.Reshape(n, x.Len()/n)
+}
+
+// Backward restores the original shape.
+func (f *Flatten) Backward(dOut *tensor.Tensor) *tensor.Tensor {
+	return dOut.Reshape(f.lastShape...)
+}
+
+// Params returns nil; Flatten has no parameters.
+func (f *Flatten) Params() []*Param { return nil }
+
+// GlobalAvgPool2D averages each channel over its spatial extent,
+// mapping (N, C, H, W) to (N, C).
+type GlobalAvgPool2D struct {
+	lastShape []int
+}
+
+// NewGlobalAvgPool2D returns a global average pooling layer.
+func NewGlobalAvgPool2D() *GlobalAvgPool2D { return &GlobalAvgPool2D{} }
+
+// Forward averages spatially.
+func (g *GlobalAvgPool2D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	n, c, h, w := x.Dim(0), x.Dim(1), x.Dim(2), x.Dim(3)
+	g.lastShape = x.Shape()
+	area := h * w
+	out := tensor.New(n, c)
+	xd, od := x.Data(), out.Data()
+	inv := 1 / float32(area)
+	for i := 0; i < n; i++ {
+		for ch := 0; ch < c; ch++ {
+			base := (i*c + ch) * area
+			var s float32
+			for j := 0; j < area; j++ {
+				s += xd[base+j]
+			}
+			od[i*c+ch] = s * inv
+		}
+	}
+	return out
+}
+
+// Backward spreads each channel gradient uniformly over the spatial
+// positions.
+func (g *GlobalAvgPool2D) Backward(dOut *tensor.Tensor) *tensor.Tensor {
+	n, c, h, w := g.lastShape[0], g.lastShape[1], g.lastShape[2], g.lastShape[3]
+	area := h * w
+	dX := tensor.New(n, c, h, w)
+	dd, dxd := dOut.Data(), dX.Data()
+	inv := 1 / float32(area)
+	for i := 0; i < n; i++ {
+		for ch := 0; ch < c; ch++ {
+			v := dd[i*c+ch] * inv
+			base := (i*c + ch) * area
+			for j := 0; j < area; j++ {
+				dxd[base+j] = v
+			}
+		}
+	}
+	return dX
+}
+
+// Params returns nil; pooling has no parameters.
+func (g *GlobalAvgPool2D) Params() []*Param { return nil }

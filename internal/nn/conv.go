@@ -1,0 +1,146 @@
+package nn
+
+import (
+	"fmt"
+
+	"github.com/ftpim/ftpim/internal/tensor"
+)
+
+// Conv2D is a 2-D convolution over NCHW inputs, lowered to GEMM via
+// im2col. Weights are stored flat as (outC, inC·kh·kw), which is also
+// the layout mapped onto ReRAM crossbar columns by internal/reram.
+// Bias is optional and off by default (batch norm follows every conv in
+// the ResNet models).
+type Conv2D struct {
+	InC, OutC   int
+	KH, KW      int
+	Stride, Pad int
+	Weight      *Param
+	Bias        *Param // nil when disabled
+	lastIn      *tensor.Tensor
+	colBuf      []float32 // per-sample im2col scratch
+	dColBuf     *tensor.Tensor
+	dWTmp       *tensor.Tensor
+	inH, inW    int
+	outH, outW  int
+}
+
+// NewConv2D creates a 3×3-style convolution layer. He initialization
+// is applied with fan-in inC·kh·kw.
+func NewConv2D(name string, inC, outC, kh, kw, stride, pad int, bias bool, rng *tensor.RNG) *Conv2D {
+	c := &Conv2D{
+		InC: inC, OutC: outC, KH: kh, KW: kw, Stride: stride, Pad: pad,
+		Weight: NewParam(name+".weight", outC, inC*kh*kw),
+	}
+	tensor.InitHe(c.Weight.W, rng, inC*kh*kw)
+	if bias {
+		c.Bias = NewParam(name+".bias", outC)
+		c.Bias.Decay = false
+	}
+	return c
+}
+
+// Forward computes the convolution for an NCHW batch.
+func (c *Conv2D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	if x.Rank() != 4 || x.Dim(1) != c.InC {
+		panic(fmt.Sprintf("nn: Conv2D input shape %v, want (N,%d,H,W)", x.Shape(), c.InC))
+	}
+	n, h, w := x.Dim(0), x.Dim(2), x.Dim(3)
+	c.inH, c.inW = h, w
+	c.outH = tensor.ConvOutSize(h, c.KH, c.Stride, c.Pad)
+	c.outW = tensor.ConvOutSize(w, c.KW, c.Stride, c.Pad)
+	outArea := c.outH * c.outW
+	colRows := c.InC * c.KH * c.KW
+	if len(c.colBuf) < colRows*outArea {
+		c.colBuf = make([]float32, colRows*outArea)
+	}
+	out := tensor.New(n, c.OutC, c.outH, c.outW)
+	inStride := c.InC * h * w
+	outStride := c.OutC * outArea
+	for i := 0; i < n; i++ {
+		src := x.Data()[i*inStride : (i+1)*inStride]
+		tensor.Im2Col(src, c.InC, h, w, c.KH, c.KW, c.Stride, c.Pad, c.colBuf)
+		col := tensor.FromSlice(c.colBuf[:colRows*outArea], colRows, outArea)
+		dst := tensor.FromSlice(out.Data()[i*outStride:(i+1)*outStride], c.OutC, outArea)
+		tensor.MatMulInto(dst, c.Weight.W, col)
+	}
+	if c.Bias != nil {
+		bd := c.Bias.W.Data()
+		od := out.Data()
+		for i := 0; i < n; i++ {
+			for oc := 0; oc < c.OutC; oc++ {
+				base := i*outStride + oc*outArea
+				b := bd[oc]
+				for j := 0; j < outArea; j++ {
+					od[base+j] += b
+				}
+			}
+		}
+	}
+	if train {
+		c.lastIn = x
+	} else {
+		c.lastIn = nil
+	}
+	return out
+}
+
+// Backward accumulates dW (and db) and returns dX. The im2col of each
+// sample is recomputed rather than cached, trading FLOPs for memory.
+func (c *Conv2D) Backward(dOut *tensor.Tensor) *tensor.Tensor {
+	if c.lastIn == nil {
+		panic("nn: Conv2D.Backward without training Forward")
+	}
+	x := c.lastIn
+	n := x.Dim(0)
+	outArea := c.outH * c.outW
+	colRows := c.InC * c.KH * c.KW
+	inStride := c.InC * c.inH * c.inW
+	outStride := c.OutC * outArea
+
+	if c.dWTmp == nil || !c.dWTmp.SameShape(c.Weight.W) {
+		c.dWTmp = tensor.New(c.Weight.W.Shape()...)
+	}
+	if c.dColBuf == nil || c.dColBuf.Len() != colRows*outArea {
+		c.dColBuf = tensor.New(colRows, outArea)
+	}
+	dX := tensor.New(x.Shape()...)
+	for i := 0; i < n; i++ {
+		src := x.Data()[i*inStride : (i+1)*inStride]
+		tensor.Im2Col(src, c.InC, c.inH, c.inW, c.KH, c.KW, c.Stride, c.Pad, c.colBuf)
+		col := tensor.FromSlice(c.colBuf[:colRows*outArea], colRows, outArea)
+		dY := tensor.FromSlice(dOut.Data()[i*outStride:(i+1)*outStride], c.OutC, outArea)
+
+		// dW += dY · colᵀ
+		tensor.MatMulTBInto(c.dWTmp, dY, col)
+		c.Weight.Grad.AddInPlace(c.dWTmp)
+
+		// dcol = Wᵀ · dY ; dX_i = col2im(dcol)
+		tensor.MatMulTAInto(c.dColBuf, c.Weight.W, dY)
+		tensor.Col2Im(c.dColBuf.Data(), c.InC, c.inH, c.inW, c.KH, c.KW,
+			c.Stride, c.Pad, dX.Data()[i*inStride:(i+1)*inStride])
+	}
+	if c.Bias != nil {
+		gd := c.Bias.Grad.Data()
+		dd := dOut.Data()
+		for i := 0; i < n; i++ {
+			for oc := 0; oc < c.OutC; oc++ {
+				base := i*outStride + oc*outArea
+				var s float32
+				for j := 0; j < outArea; j++ {
+					s += dd[base+j]
+				}
+				gd[oc] += s
+			}
+		}
+	}
+	return dX
+}
+
+// Params returns the convolution's parameters.
+func (c *Conv2D) Params() []*Param {
+	if c.Bias != nil {
+		return []*Param{c.Weight, c.Bias}
+	}
+	return []*Param{c.Weight}
+}

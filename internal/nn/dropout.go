@@ -1,0 +1,61 @@
+package nn
+
+import (
+	"fmt"
+
+	"github.com/ftpim/ftpim/internal/tensor"
+)
+
+// Dropout implements inverted dropout: during training each activation
+// is zeroed with probability P and the survivors are scaled by
+// 1/(1−P); at inference it is the identity. The layer owns a
+// deterministic RNG stream so training runs remain reproducible.
+type Dropout struct {
+	P   float64
+	rng *tensor.RNG
+
+	mask []float32
+}
+
+// NewDropout creates a dropout layer with drop probability p.
+func NewDropout(p float64, rng *tensor.RNG) *Dropout {
+	if p < 0 || p >= 1 {
+		panic(fmt.Sprintf("nn: dropout probability %v out of [0,1)", p))
+	}
+	return &Dropout{P: p, rng: rng.Stream("dropout")}
+}
+
+// Forward applies dropout in training mode; identity at inference.
+func (d *Dropout) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	if !train || d.P == 0 {
+		return x
+	}
+	out := tensor.New(x.Shape()...)
+	xd, od := x.Data(), out.Data()
+	if len(d.mask) < len(xd) {
+		d.mask = make([]float32, len(xd))
+	}
+	keep := float32(1 / (1 - d.P))
+	for i, v := range xd {
+		if d.rng.Float64() < d.P {
+			d.mask[i] = 0
+		} else {
+			d.mask[i] = keep
+			od[i] = v * keep
+		}
+	}
+	return out
+}
+
+// Backward gates the gradient by the dropout mask.
+func (d *Dropout) Backward(dOut *tensor.Tensor) *tensor.Tensor {
+	dX := tensor.New(dOut.Shape()...)
+	dd, dxd := dOut.Data(), dX.Data()
+	for i, v := range dd {
+		dxd[i] = v * d.mask[i]
+	}
+	return dX
+}
+
+// Params returns nil; dropout has no parameters.
+func (d *Dropout) Params() []*Param { return nil }

@@ -1,0 +1,107 @@
+package nn
+
+import (
+	"math"
+	"testing"
+
+	"github.com/ftpim/ftpim/internal/tensor"
+)
+
+func TestDropoutEvalIsIdentity(t *testing.T) {
+	r := tensor.NewRNG(1)
+	d := NewDropout(0.5, r)
+	x := tensor.New(4, 8)
+	tensor.FillNormal(x, r, 0, 1)
+	y := d.Forward(x, false)
+	if !y.Equal(x) {
+		t.Fatal("eval-mode dropout must be identity")
+	}
+}
+
+func TestDropoutTrainDropsAndScales(t *testing.T) {
+	r := tensor.NewRNG(2)
+	d := NewDropout(0.5, r)
+	x := tensor.Full(1, 10000)
+	y := d.Forward(x, true)
+	zeros, twos := 0, 0
+	for _, v := range y.Data() {
+		switch v {
+		case 0:
+			zeros++
+		case 2:
+			twos++
+		default:
+			t.Fatalf("unexpected value %v (want 0 or 2)", v)
+		}
+	}
+	if math.Abs(float64(zeros)/10000-0.5) > 0.03 {
+		t.Fatalf("drop fraction %v, want ≈0.5", float64(zeros)/10000)
+	}
+	if zeros+twos != 10000 {
+		t.Fatal("count mismatch")
+	}
+	// Expectation preserved.
+	if math.Abs(y.Mean()-1) > 0.05 {
+		t.Fatalf("inverted dropout should preserve expectation, mean=%v", y.Mean())
+	}
+}
+
+func TestDropoutBackwardUsesSameMask(t *testing.T) {
+	r := tensor.NewRNG(3)
+	d := NewDropout(0.3, r)
+	x := tensor.Full(1, 100)
+	y := d.Forward(x, true)
+	g := tensor.Ones(100)
+	dx := d.Backward(g)
+	for i := range y.Data() {
+		if (y.Data()[i] == 0) != (dx.Data()[i] == 0) {
+			t.Fatal("backward mask differs from forward mask")
+		}
+	}
+}
+
+func TestDropoutZeroProbIsIdentityInTraining(t *testing.T) {
+	r := tensor.NewRNG(4)
+	d := NewDropout(0, r)
+	x := tensor.New(3, 3)
+	tensor.FillNormal(x, r, 0, 1)
+	if !d.Forward(x, true).Equal(x) {
+		t.Fatal("p=0 dropout must be identity")
+	}
+}
+
+func TestDropoutBadProbPanics(t *testing.T) {
+	r := tensor.NewRNG(5)
+	for _, p := range []float64{-0.1, 1.0, 1.5} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("expected panic for p=%v", p)
+				}
+			}()
+			NewDropout(p, r)
+		}()
+	}
+}
+
+func TestDropoutGradCheck(t *testing.T) {
+	// Dropout is linear given a fixed mask, so analytic and numeric
+	// gradients agree exactly if the mask is frozen. Freeze it by
+	// setting P=0.4 and re-seeding the layer's RNG between passes is
+	// not possible; instead check the linearity property directly:
+	// Backward(g) == g ⊙ mask where mask = Forward(1s)/keep... covered
+	// by TestDropoutBackwardUsesSameMask. Here check scaling linearity.
+	r := tensor.NewRNG(6)
+	d := NewDropout(0.4, r)
+	x := tensor.Full(1, 50)
+	d.Forward(x, true)
+	g1 := tensor.Full(1, 50)
+	g2 := tensor.Full(2, 50)
+	dx1 := d.Backward(g1)
+	dx2 := d.Backward(g2)
+	for i := range dx1.Data() {
+		if dx2.Data()[i] != 2*dx1.Data()[i] {
+			t.Fatal("dropout backward not linear")
+		}
+	}
+}

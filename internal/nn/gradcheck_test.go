@@ -1,0 +1,147 @@
+package nn
+
+import (
+	"math"
+	"testing"
+
+	"github.com/ftpim/ftpim/internal/tensor"
+)
+
+// lossOf runs a full forward pass (training mode) and returns the
+// softmax cross-entropy loss.
+func lossOf(net *Network, x *tensor.Tensor, labels []int) float64 {
+	out := net.Forward(x, true)
+	loss, _ := SoftmaxCrossEntropy(out, labels)
+	return loss
+}
+
+// analyticGrads runs forward+backward once and returns copies of every
+// parameter gradient plus the input gradient.
+func analyticGrads(net *Network, x *tensor.Tensor, labels []int) ([]*tensor.Tensor, *tensor.Tensor) {
+	net.ZeroGrad()
+	out := net.Forward(x, true)
+	_, dOut := SoftmaxCrossEntropy(out, labels)
+	dX := net.Backward(dOut)
+	var gs []*tensor.Tensor
+	for _, p := range net.Params() {
+		gs = append(gs, p.Grad.Clone())
+	}
+	return gs, dX
+}
+
+// checkGrad compares analytic and central-difference gradients.
+// float32 forward passes limit attainable precision, so the tolerance
+// is relative with a generous absolute floor.
+func checkGrad(t *testing.T, net *Network, x *tensor.Tensor, labels []int) {
+	t.Helper()
+	gs, dX := analyticGrads(net, x, labels)
+	const eps = 3e-3
+	const rtol, atol = 0.08, 2e-3
+
+	compare := func(name string, w *tensor.Tensor, analytic *tensor.Tensor) {
+		t.Helper()
+		d := w.Data()
+		for i := 0; i < len(d); i++ {
+			orig := d[i]
+			d[i] = orig + eps
+			lp := lossOf(net, x, labels)
+			d[i] = orig - eps
+			lm := lossOf(net, x, labels)
+			d[i] = orig
+			num := (lp - lm) / (2 * eps)
+			ana := float64(analytic.Data()[i])
+			if diff := math.Abs(num - ana); diff > atol+rtol*math.Abs(num) {
+				t.Fatalf("%s[%d]: analytic %.6f vs numeric %.6f (diff %.6f)", name, i, ana, num, diff)
+			}
+		}
+	}
+
+	for pi, p := range net.Params() {
+		compare(p.Name, p.W, gs[pi])
+	}
+	compare("input", x, dX)
+}
+
+func smallInput(r *tensor.RNG, n, c, h, w int) (*tensor.Tensor, []int) {
+	x := tensor.New(n, c, h, w)
+	tensor.FillNormal(x, r, 0, 1)
+	labels := make([]int, n)
+	for i := range labels {
+		labels[i] = int(r.Uint64() % 3)
+	}
+	return x, labels
+}
+
+func TestGradCheckLinear(t *testing.T) {
+	r := tensor.NewRNG(11)
+	net := NewNetwork(NewLinear("fc", 6, 3, r))
+	x := tensor.New(4, 6)
+	tensor.FillNormal(x, r, 0, 1)
+	labels := []int{0, 1, 2, 1}
+	checkGrad(t, net, x, labels)
+}
+
+func TestGradCheckConv(t *testing.T) {
+	r := tensor.NewRNG(12)
+	net := NewNetwork(
+		NewConv2D("c", 2, 3, 3, 3, 1, 1, true, r),
+		NewGlobalAvgPool2D(),
+	)
+	x, labels := smallInput(r, 2, 2, 5, 5)
+	checkGrad(t, net, x, labels)
+}
+
+func TestGradCheckConvStride2NoBias(t *testing.T) {
+	r := tensor.NewRNG(13)
+	net := NewNetwork(
+		NewConv2D("c", 2, 3, 3, 3, 2, 1, false, r),
+		NewFlatten(),
+		NewLinear("fc", 3*3*3, 3, r),
+	)
+	x, labels := smallInput(r, 2, 2, 5, 5)
+	checkGrad(t, net, x, labels)
+}
+
+func TestGradCheckReLUStack(t *testing.T) {
+	r := tensor.NewRNG(14)
+	net := NewNetwork(
+		NewLinear("fc1", 5, 8, r),
+		NewReLU(),
+		NewLinear("fc2", 8, 3, r),
+	)
+	x := tensor.New(3, 5)
+	tensor.FillNormal(x, r, 0, 1)
+	checkGrad(t, net, x, []int{2, 0, 1})
+}
+
+func TestGradCheckBatchNorm(t *testing.T) {
+	r := tensor.NewRNG(15)
+	net := NewNetwork(
+		NewConv2D("c", 1, 3, 3, 3, 1, 1, false, r),
+		NewBatchNorm2D("bn", 3),
+		NewGlobalAvgPool2D(),
+	)
+	x, labels := smallInput(r, 3, 1, 4, 4)
+	checkGrad(t, net, x, labels)
+}
+
+func TestGradCheckBasicBlockIdentity(t *testing.T) {
+	r := tensor.NewRNG(16)
+	net := NewNetwork(
+		NewBasicBlock("b", 3, 3, 1, r),
+		NewGlobalAvgPool2D(),
+	)
+	x, labels := smallInput(r, 2, 3, 4, 4)
+	checkGrad(t, net, x, labels)
+}
+
+func TestGradCheckBasicBlockDownsample(t *testing.T) {
+	r := tensor.NewRNG(17)
+	net := NewNetwork(
+		NewBasicBlock("b", 2, 4, 2, r),
+		NewGlobalAvgPool2D(),
+		NewLinear("fc", 4, 3, r),
+	)
+	x, labels := smallInput(r, 2, 2, 6, 6)
+	checkGrad(t, net, x, labels)
+}

@@ -1,0 +1,70 @@
+package nn
+
+import (
+	"fmt"
+
+	"github.com/ftpim/ftpim/internal/tensor"
+)
+
+// Linear is a fully connected layer: y = x·Wᵀ + b over (N, in) inputs.
+// W is stored (out, in) — rows are output neurons, matching the
+// crossbar column mapping used by internal/reram.
+type Linear struct {
+	In, Out int
+	Weight  *Param
+	Bias    *Param
+	lastIn  *tensor.Tensor
+}
+
+// NewLinear creates a fully connected layer with He initialization.
+func NewLinear(name string, in, out int, rng *tensor.RNG) *Linear {
+	l := &Linear{
+		In: in, Out: out,
+		Weight: NewParam(name+".weight", out, in),
+		Bias:   NewParam(name+".bias", out),
+	}
+	l.Bias.Decay = false
+	tensor.InitHe(l.Weight.W, rng, in)
+	return l
+}
+
+// Forward computes y = x·Wᵀ + b.
+func (l *Linear) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	if x.Rank() != 2 || x.Dim(1) != l.In {
+		panic(fmt.Sprintf("nn: Linear input shape %v, want (N,%d)", x.Shape(), l.In))
+	}
+	out := tensor.MatMulTB(x, l.Weight.W) // (N,in)·(out,in)ᵀ = (N,out)
+	bd := l.Bias.W.Data()
+	for i := 0; i < out.Dim(0); i++ {
+		row := out.Row(i)
+		for j := range row {
+			row[j] += bd[j]
+		}
+	}
+	if train {
+		l.lastIn = x
+	} else {
+		l.lastIn = nil
+	}
+	return out
+}
+
+// Backward accumulates dW = dYᵀ·x and db, returning dX = dY·W.
+func (l *Linear) Backward(dOut *tensor.Tensor) *tensor.Tensor {
+	if l.lastIn == nil {
+		panic("nn: Linear.Backward without training Forward")
+	}
+	dW := tensor.MatMulTA(dOut, l.lastIn) // (N,out)ᵀ·(N,in) = (out,in)
+	l.Weight.Grad.AddInPlace(dW)
+	gd := l.Bias.Grad.Data()
+	for i := 0; i < dOut.Dim(0); i++ {
+		row := dOut.Row(i)
+		for j, v := range row {
+			gd[j] += v
+		}
+	}
+	return tensor.MatMul(dOut, l.Weight.W) // (N,out)·(out,in) = (N,in)
+}
+
+// Params returns the layer's parameters.
+func (l *Linear) Params() []*Param { return []*Param{l.Weight, l.Bias} }

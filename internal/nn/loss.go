@@ -1,0 +1,78 @@
+package nn
+
+import (
+	"math"
+
+	"github.com/ftpim/ftpim/internal/tensor"
+)
+
+// SoftmaxCrossEntropy computes the mean softmax cross-entropy loss over
+// a batch of logits (N, classes) with integer labels, returning the
+// loss and the gradient with respect to the logits.
+//
+// The gradient is (softmax(z) − onehot(y)) / N, the textbook fused
+// form, which is numerically stable because softmax is computed with
+// the row-max subtracted.
+func SoftmaxCrossEntropy(logits *tensor.Tensor, labels []int) (loss float64, dLogits *tensor.Tensor) {
+	n, c := logits.Dim(0), logits.Dim(1)
+	if len(labels) != n {
+		panic("nn: SoftmaxCrossEntropy label count mismatch")
+	}
+	probs := tensor.Softmax(logits, nil)
+	dLogits = probs // reuse: gradient is probs with label column shifted
+	invN := float32(1 / float64(n))
+	for i := 0; i < n; i++ {
+		y := labels[i]
+		if y < 0 || y >= c {
+			panic("nn: label out of range")
+		}
+		p := float64(probs.At(i, y))
+		if p < 1e-12 {
+			p = 1e-12
+		}
+		loss -= math.Log(p)
+		row := dLogits.Row(i)
+		row[y] -= 1
+		for j := range row {
+			row[j] *= invN
+		}
+	}
+	return loss / float64(n), dLogits
+}
+
+// Accuracy returns the fraction of rows of logits whose argmax equals
+// the label.
+func Accuracy(logits *tensor.Tensor, labels []int) float64 {
+	n := logits.Dim(0)
+	correct := 0
+	for i := 0; i < n; i++ {
+		if logits.ArgMaxRow(i) == labels[i] {
+			correct++
+		}
+	}
+	return float64(correct) / float64(n)
+}
+
+// TopKAccuracy returns the fraction of rows whose label is among the k
+// largest logits.
+func TopKAccuracy(logits *tensor.Tensor, labels []int, k int) float64 {
+	n, c := logits.Dim(0), logits.Dim(1)
+	if k >= c {
+		return 1
+	}
+	correct := 0
+	for i := 0; i < n; i++ {
+		row := logits.Row(i)
+		target := row[labels[i]]
+		higher := 0
+		for _, v := range row {
+			if v > target {
+				higher++
+			}
+		}
+		if higher < k {
+			correct++
+		}
+	}
+	return float64(correct) / float64(n)
+}

@@ -1,0 +1,196 @@
+package nn
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"io"
+
+	"github.com/ftpim/ftpim/internal/tensor"
+)
+
+// Network wraps a layer stack with the bookkeeping a training loop
+// needs: parameter access, gradient clearing, and full state
+// (de)serialization including batch-norm running statistics and pruning
+// masks.
+type Network struct {
+	Body *Sequential
+}
+
+// NewNetwork wraps the given layers.
+func NewNetwork(layers ...Layer) *Network {
+	return &Network{Body: NewSequential(layers...)}
+}
+
+// Forward runs the network.
+func (n *Network) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	return n.Body.Forward(x, train)
+}
+
+// Backward back-propagates an output gradient.
+func (n *Network) Backward(dOut *tensor.Tensor) *tensor.Tensor {
+	return n.Body.Backward(dOut)
+}
+
+// Params returns all learnable parameters in a stable order.
+func (n *Network) Params() []*Param { return n.Body.Params() }
+
+// WeightParams returns only the weight-decayed parameters — conv and
+// linear weight matrices — which are the tensors mapped onto ReRAM
+// crossbars and therefore the ones fault injection targets.
+func (n *Network) WeightParams() []*Param {
+	var ps []*Param
+	for _, p := range n.Params() {
+		if p.Decay {
+			ps = append(ps, p)
+		}
+	}
+	return ps
+}
+
+// ZeroGrad clears every parameter gradient.
+func (n *Network) ZeroGrad() {
+	for _, p := range n.Params() {
+		p.ZeroGrad()
+	}
+}
+
+// ApplyMasks re-applies all pruning masks (no-op for dense params).
+func (n *Network) ApplyMasks() {
+	for _, p := range n.Params() {
+		p.ApplyMask()
+	}
+}
+
+// NumParams returns the total learnable element count.
+func (n *Network) NumParams() int {
+	total := 0
+	for _, p := range n.Params() {
+		total += p.W.Len()
+	}
+	return total
+}
+
+// Sparsity returns the overall fraction of weight entries pruned to
+// zero across the weight (Decay) parameters.
+func (n *Network) Sparsity() float64 {
+	total, zeros := 0, 0
+	for _, p := range n.WeightParams() {
+		total += p.W.Len()
+		if p.Mask != nil {
+			for _, v := range p.Mask.Data() {
+				if v == 0 {
+					zeros++
+				}
+			}
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	return float64(zeros) / float64(total)
+}
+
+// BatchNorms walks the network and returns every BatchNorm2D in order.
+func (n *Network) BatchNorms() []*BatchNorm2D {
+	var bns []*BatchNorm2D
+	var walk func(l Layer)
+	walk = func(l Layer) {
+		switch v := l.(type) {
+		case *Sequential:
+			for _, c := range v.Layers {
+				walk(c)
+			}
+		case *BasicBlock:
+			bns = append(bns, v.BN1, v.BN2)
+		case *BatchNorm2D:
+			bns = append(bns, v)
+		}
+	}
+	walk(n.Body)
+	return bns
+}
+
+// netState is the gob wire format for a network's learnable state.
+// gob cannot encode nil pointers, so mask presence is tracked
+// explicitly and only non-nil masks travel on the wire.
+type netState struct {
+	Params  []*tensor.Tensor
+	HasMask []bool
+	Masks   []*tensor.Tensor // non-nil masks only, in param order
+	BNMean  []*tensor.Tensor
+	BNVar   []*tensor.Tensor
+}
+
+// Save serializes all weights, masks, and batch-norm running stats.
+// The architecture itself is not saved; Load must be called on a
+// network of identical construction.
+func (n *Network) Save(w io.Writer) error {
+	st := netState{}
+	for _, p := range n.Params() {
+		st.Params = append(st.Params, p.W)
+		st.HasMask = append(st.HasMask, p.Mask != nil)
+		if p.Mask != nil {
+			st.Masks = append(st.Masks, p.Mask)
+		}
+	}
+	for _, bn := range n.BatchNorms() {
+		m, v := bn.Stats()
+		st.BNMean = append(st.BNMean, m)
+		st.BNVar = append(st.BNVar, v)
+	}
+	return gob.NewEncoder(w).Encode(&st)
+}
+
+// Load restores state previously written by Save into a structurally
+// identical network.
+func (n *Network) Load(r io.Reader) error {
+	var st netState
+	if err := gob.NewDecoder(r).Decode(&st); err != nil {
+		return err
+	}
+	ps := n.Params()
+	if len(st.Params) != len(ps) {
+		return fmt.Errorf("nn: state has %d params, network has %d", len(st.Params), len(ps))
+	}
+	mi := 0
+	for i, p := range ps {
+		if !p.W.SameShape(st.Params[i]) {
+			return fmt.Errorf("nn: param %d shape %v != saved %v", i, p.W.Shape(), st.Params[i].Shape())
+		}
+		p.W.CopyFrom(st.Params[i])
+		if len(st.HasMask) > i && st.HasMask[i] {
+			if mi >= len(st.Masks) {
+				return fmt.Errorf("nn: corrupt state: mask flag without mask payload")
+			}
+			p.Mask = st.Masks[mi]
+			mi++
+		} else {
+			p.Mask = nil
+		}
+	}
+	bns := n.BatchNorms()
+	if len(st.BNMean) != len(bns) {
+		return fmt.Errorf("nn: state has %d batchnorms, network has %d", len(st.BNMean), len(bns))
+	}
+	for i, bn := range bns {
+		bn.RunningMean.CopyFrom(st.BNMean[i])
+		bn.RunningVar.CopyFrom(st.BNVar[i])
+	}
+	return nil
+}
+
+// Snapshot returns the serialized state as bytes (convenience wrapper
+// around Save).
+func (n *Network) Snapshot() []byte {
+	var buf bytes.Buffer
+	if err := n.Save(&buf); err != nil {
+		panic(err) // bytes.Buffer cannot fail; a gob error here is a bug
+	}
+	return buf.Bytes()
+}
+
+// Restore loads state captured by Snapshot.
+func (n *Network) Restore(state []byte) error {
+	return n.Load(bytes.NewReader(state))
+}

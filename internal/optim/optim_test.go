@@ -1,0 +1,201 @@
+package optim
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"github.com/ftpim/ftpim/internal/nn"
+	"github.com/ftpim/ftpim/internal/tensor"
+)
+
+// quadratic sets up a single 1-element parameter minimizing f(w) = w².
+func quadratic(w0 float32) *nn.Param {
+	p := nn.NewParam("w", 1)
+	p.W.Data()[0] = w0
+	return p
+}
+
+func TestSGDConvergesOnQuadratic(t *testing.T) {
+	p := quadratic(5)
+	s := NewSGD([]*nn.Param{p}, 0.1, 0, 0)
+	for i := 0; i < 200; i++ {
+		s.ZeroGrad()
+		p.Grad.Data()[0] = 2 * p.W.Data()[0] // df/dw
+		s.Step()
+	}
+	if w := p.W.Data()[0]; math.Abs(float64(w)) > 1e-4 {
+		t.Fatalf("did not converge: w=%v", w)
+	}
+}
+
+func TestSGDMomentumFasterOnIllConditioned(t *testing.T) {
+	// On f(w)=0.5·k·w² with small k, momentum should make more progress
+	// than plain SGD in the same step budget.
+	run := func(momentum float64) float64 {
+		p := quadratic(10)
+		s := NewSGD([]*nn.Param{p}, 0.05, momentum, 0)
+		for i := 0; i < 50; i++ {
+			s.ZeroGrad()
+			p.Grad.Data()[0] = 0.1 * p.W.Data()[0]
+			s.Step()
+		}
+		return math.Abs(float64(p.W.Data()[0]))
+	}
+	if run(0.9) >= run(0) {
+		t.Fatal("momentum should converge faster on an ill-conditioned quadratic")
+	}
+}
+
+func TestSGDWeightDecayShrinksWeights(t *testing.T) {
+	p := quadratic(1)
+	s := NewSGD([]*nn.Param{p}, 0.1, 0, 0.5)
+	s.ZeroGrad() // zero gradient: only decay acts
+	s.Step()
+	want := float32(1 - 0.1*0.5)
+	if got := p.W.Data()[0]; math.Abs(float64(got-want)) > 1e-6 {
+		t.Fatalf("decay step got %v want %v", got, want)
+	}
+}
+
+func TestSGDWeightDecaySkipsNonDecayParams(t *testing.T) {
+	p := quadratic(1)
+	p.Decay = false
+	s := NewSGD([]*nn.Param{p}, 0.1, 0, 0.5)
+	s.ZeroGrad()
+	s.Step()
+	if got := p.W.Data()[0]; got != 1 {
+		t.Fatalf("non-decay param changed: %v", got)
+	}
+}
+
+func TestSGDRespectsMask(t *testing.T) {
+	p := nn.NewParam("w", 4)
+	p.W.CopyFrom(tensor.FromSlice([]float32{1, 2, 3, 4}, 4))
+	p.Mask = tensor.FromSlice([]float32{1, 0, 1, 0}, 4)
+	p.ApplyMask()
+	s := NewSGD([]*nn.Param{p}, 0.1, 0.9, 0)
+	for i := 0; i < 5; i++ {
+		s.ZeroGrad()
+		for j := range p.Grad.Data() {
+			p.Grad.Data()[j] = 1
+		}
+		s.Step()
+	}
+	if p.W.At(1) != 0 || p.W.At(3) != 0 {
+		t.Fatalf("pruned weights moved: %v", p.W.Data())
+	}
+	if p.W.At(0) >= 1 {
+		t.Fatal("unpruned weights should have moved down")
+	}
+}
+
+func TestNesterovDiffersFromClassic(t *testing.T) {
+	run := func(nesterov bool) float32 {
+		p := quadratic(3)
+		s := NewSGD([]*nn.Param{p}, 0.1, 0.9, 0)
+		s.Nesterov = nesterov
+		for i := 0; i < 3; i++ {
+			s.ZeroGrad()
+			p.Grad.Data()[0] = 2 * p.W.Data()[0]
+			s.Step()
+		}
+		return p.W.Data()[0]
+	}
+	if run(true) == run(false) {
+		t.Fatal("Nesterov and classic momentum should differ after several steps")
+	}
+}
+
+func TestResetVelocity(t *testing.T) {
+	p := quadratic(1)
+	s := NewSGD([]*nn.Param{p}, 0.1, 0.9, 0)
+	p.Grad.Data()[0] = 1
+	s.Step()
+	s.ResetVelocity()
+	w0 := p.W.Data()[0]
+	s.ZeroGrad()
+	s.Step() // zero grad + zero velocity = no movement
+	if p.W.Data()[0] != w0 {
+		t.Fatal("ResetVelocity did not clear momentum")
+	}
+}
+
+func TestGradNormAndClip(t *testing.T) {
+	p := nn.NewParam("w", 2)
+	s := NewSGD([]*nn.Param{p}, 0.1, 0, 0)
+	p.Grad.CopyFrom(tensor.FromSlice([]float32{3, 4}, 2))
+	if n := s.GradNorm(); math.Abs(n-5) > 1e-9 {
+		t.Fatalf("GradNorm=%v want 5", n)
+	}
+	pre := s.ClipGradNorm(1)
+	if math.Abs(pre-5) > 1e-9 {
+		t.Fatalf("pre-clip norm=%v", pre)
+	}
+	if n := s.GradNorm(); math.Abs(n-1) > 1e-5 {
+		t.Fatalf("post-clip norm=%v want 1", n)
+	}
+	// Clipping below the threshold is a no-op.
+	if s.ClipGradNorm(10); math.Abs(s.GradNorm()-1) > 1e-5 {
+		t.Fatal("clip below threshold must not rescale")
+	}
+}
+
+func TestCosineScheduleEndpoints(t *testing.T) {
+	c := NewCosine(0.1, 100)
+	if c.LR(0) != 0.1 {
+		t.Fatalf("LR(0)=%v", c.LR(0))
+	}
+	if last := c.LR(99); math.Abs(last) > 1e-12 {
+		t.Fatalf("LR(last)=%v want 0", last)
+	}
+	if c.LR(1000) != 0 {
+		t.Fatal("past-end LR should be Final")
+	}
+}
+
+func TestCosineMonotoneDecreasing(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := tensor.NewRNG(seed)
+		epochs := 2 + int(r.Uint64()%200)
+		c := NewCosine(0.1, epochs)
+		prev := math.Inf(1)
+		for e := 0; e < epochs; e++ {
+			lr := c.LR(e)
+			if lr > prev+1e-12 || lr < 0 {
+				return false
+			}
+			prev = lr
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMultiStep(t *testing.T) {
+	m := NewMultiStep(1.0, []int{10, 20}, 0.1)
+	if m.LR(0) != 1 || m.LR(9) != 1 {
+		t.Fatal("before first milestone")
+	}
+	if math.Abs(m.LR(10)-0.1) > 1e-12 || math.Abs(m.LR(19)-0.1) > 1e-12 {
+		t.Fatal("after first milestone")
+	}
+	if math.Abs(m.LR(25)-0.01) > 1e-12 {
+		t.Fatal("after second milestone")
+	}
+}
+
+func TestWarmup(t *testing.T) {
+	w := &Warmup{Inner: Constant(0.4), WarmupEpochs: 4}
+	if math.Abs(w.LR(0)-0.1) > 1e-12 {
+		t.Fatalf("LR(0)=%v", w.LR(0))
+	}
+	if math.Abs(w.LR(3)-0.4) > 1e-12 {
+		t.Fatalf("LR(3)=%v", w.LR(3))
+	}
+	if w.LR(10) != 0.4 {
+		t.Fatal("post-warmup should defer to inner")
+	}
+}

@@ -1,0 +1,23 @@
+package prune_test
+
+import (
+	"fmt"
+
+	"github.com/ftpim/ftpim/internal/nn"
+	"github.com/ftpim/ftpim/internal/prune"
+	"github.com/ftpim/ftpim/internal/tensor"
+)
+
+// One-shot magnitude pruning zeroes the smallest weights and installs
+// a mask that keeps them at zero through later training.
+func ExampleMagnitudePrune() {
+	p := nn.NewParam("fc.weight", 6)
+	p.W.CopyFrom(tensor.FromSlice([]float32{0.9, -0.1, 0.4, -0.8, 0.05, 0.6}, 6))
+
+	prune.MagnitudePrune([]*nn.Param{p}, 0.5, false)
+	fmt.Printf("weights: %v\n", p.W.Data())
+	fmt.Printf("sparsity: %.2f\n", prune.Sparsity([]*nn.Param{p}))
+	// Output:
+	// weights: [0.9 -0 0 -0.8 0 0.6]
+	// sparsity: 0.50
+}

@@ -1,0 +1,107 @@
+// Package prune implements the weight-pruning methods the paper pairs
+// with fault-tolerant training: one-shot magnitude pruning (Han et al.,
+// NeurIPS'15 [27]) and ADMM-based systematic pruning (Zhang et al.,
+// ECCV'18 [12]). Both produce {0,1} masks on the weight parameters;
+// the optimizer keeps masked weights at exactly zero.
+package prune
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/ftpim/ftpim/internal/nn"
+	"github.com/ftpim/ftpim/internal/tensor"
+)
+
+// MagnitudePrune applies one-shot magnitude pruning at the given
+// sparsity (fraction of weights zeroed). With global=true a single
+// threshold is computed across all params; otherwise each param is
+// pruned to the sparsity independently (per-layer). Masks are installed
+// on the params and applied immediately.
+func MagnitudePrune(params []*nn.Param, sparsity float64, global bool) {
+	if sparsity < 0 || sparsity >= 1 {
+		panic(fmt.Sprintf("prune: sparsity %v out of [0,1)", sparsity))
+	}
+	if sparsity == 0 {
+		for _, p := range params {
+			p.Mask = nil
+		}
+		return
+	}
+	if global {
+		var all []float32
+		for _, p := range params {
+			for _, v := range p.W.Data() {
+				all = append(all, abs32(v))
+			}
+		}
+		thr := kthSmallest(all, int(float64(len(all))*sparsity))
+		for _, p := range params {
+			maskBelow(p, thr)
+		}
+		return
+	}
+	for _, p := range params {
+		mags := make([]float32, p.W.Len())
+		for i, v := range p.W.Data() {
+			mags[i] = abs32(v)
+		}
+		thr := kthSmallest(mags, int(float64(len(mags))*sparsity))
+		maskBelow(p, thr)
+	}
+}
+
+// maskBelow installs a mask zeroing every |w| < thr.
+func maskBelow(p *nn.Param, thr float32) {
+	mask := tensor.Ones(p.W.Shape()...)
+	md := mask.Data()
+	for i, v := range p.W.Data() {
+		if abs32(v) < thr {
+			md[i] = 0
+		}
+	}
+	p.Mask = mask
+	p.ApplyMask()
+}
+
+// kthSmallest returns the value v such that exactly k elements are
+// < v when pruning with "< v" semantics; i.e. the k-th order statistic
+// (0 ⇒ −inf behaviour: nothing pruned).
+func kthSmallest(vals []float32, k int) float32 {
+	if k <= 0 {
+		return 0 // |w| >= 0 always, so nothing is < 0
+	}
+	if k >= len(vals) {
+		k = len(vals) - 1
+	}
+	s := append([]float32(nil), vals...)
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	return s[k]
+}
+
+// Sparsity reports the achieved zero fraction across params (by mask).
+func Sparsity(params []*nn.Param) float64 {
+	total, zeros := 0, 0
+	for _, p := range params {
+		total += p.W.Len()
+		if p.Mask == nil {
+			continue
+		}
+		for _, v := range p.Mask.Data() {
+			if v == 0 {
+				zeros++
+			}
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	return float64(zeros) / float64(total)
+}
+
+func abs32(v float32) float32 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}

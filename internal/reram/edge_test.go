@@ -1,0 +1,136 @@
+package reram
+
+import (
+	"testing"
+
+	"github.com/ftpim/ftpim/internal/fault"
+	"github.com/ftpim/ftpim/internal/tensor"
+)
+
+func TestNewCrossbarBadConfigPanics(t *testing.T) {
+	cases := []struct {
+		r, c       int
+		gmin, gmax float64
+	}{
+		{0, 4, 0.1, 10},
+		{4, 0, 0.1, 10},
+		{4, 4, 10, 0.1},
+		{4, 4, 5, 5},
+	}
+	for _, tc := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("expected panic for %+v", tc)
+				}
+			}()
+			NewCrossbar(tc.r, tc.c, 0, tc.gmin, tc.gmax)
+		}()
+	}
+}
+
+func TestCrossbarMatVecLengthPanics(t *testing.T) {
+	x := NewCrossbar(3, 3, 0, 0.1, 10)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	x.MatVec([]float64{1, 2})
+}
+
+func TestCrossbarInjectBadRatePanics(t *testing.T) {
+	x := NewCrossbar(2, 2, 0, 0.1, 10)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	x.InjectFaults(tensor.NewRNG(1), fault.ChenModel(), 1.5)
+}
+
+func TestMapMatrixRankPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for rank-1 weights")
+		}
+	}()
+	MapMatrix(tensor.New(4), DefaultMapOptions())
+}
+
+func TestMapMatrixZeroTilePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for zero tile dims")
+		}
+	}()
+	MapMatrix(tensor.New(2, 2), MapOptions{TileRows: 0, TileCols: 4, Gmin: 0.1, Gmax: 10})
+}
+
+func TestMapMatrixAllZeroWeights(t *testing.T) {
+	// An all-zero matrix must map (wmax falls back to 1) and read back
+	// as zeros.
+	m := MapMatrix(tensor.New(3, 3), MapOptions{TileRows: 4, TileCols: 4, Levels: 0, Gmin: 0.1, Gmax: 10})
+	eff := m.EffectiveWeights()
+	if eff.MaxAbs() != 0 {
+		t.Fatalf("zero matrix should read back zero, got %v", eff.MaxAbs())
+	}
+}
+
+func TestMapMatrixTilingCoversOddShapes(t *testing.T) {
+	// 5×7 with 3×2 tiles: ragged edges on both axes.
+	r := tensor.NewRNG(1)
+	w := tensor.New(5, 7)
+	tensor.FillNormal(w, r, 0, 1)
+	m := MapMatrix(w, MapOptions{TileRows: 3, TileCols: 2, Levels: 0, Gmin: 0.1, Gmax: 10})
+	rt, ct := m.TileGrid()
+	if rt != 3 || ct != 3 { // in=7→3 row tiles, out=5→3 col tiles
+		t.Fatalf("tile grid %d×%d", rt, ct)
+	}
+	if !m.EffectiveWeights().AllClose(w, 1e-4) {
+		t.Fatal("ragged tiling broke the round trip")
+	}
+	x := make([]float32, 7)
+	for i := range x {
+		x[i] = r.Normal(0, 1)
+	}
+	got := m.MatVec(x)
+	want := tensor.MatVec(w, x)
+	for i := range got {
+		if d := got[i] - want[i]; d > 1e-3 || d < -1e-3 {
+			t.Fatalf("ragged MatVec mismatch at %d: %v vs %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestMarchTestBadCoveragePanics(t *testing.T) {
+	x := NewCrossbar(2, 2, 0, 0.1, 10)
+	for _, bad := range []float64{0, -1, 1.5} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("expected panic for coverage %v", bad)
+				}
+			}()
+			MarchTest(x, bad, tensor.NewRNG(1))
+		}()
+	}
+}
+
+func TestCellFaultString(t *testing.T) {
+	if FaultNone.String() != "ok" || FaultSA0.String() != "SA0" || FaultSA1.String() != "SA1" {
+		t.Fatal("CellFault strings wrong")
+	}
+}
+
+func TestQuantizeMonotone(t *testing.T) {
+	x := NewCrossbar(1, 1, 8, 0, 1)
+	prev := -1.0
+	for g := 0.0; g <= 1.0; g += 0.01 {
+		q := x.Quantize(g)
+		if q < prev {
+			t.Fatalf("quantization not monotone at %v", g)
+		}
+		prev = q
+	}
+}

@@ -1,0 +1,86 @@
+package reram
+
+import (
+	"github.com/ftpim/ftpim/internal/tensor"
+)
+
+// DetectedFault is one fault found by a march test.
+type DetectedFault struct {
+	Row, Col int
+	Kind     CellFault
+}
+
+// MarchTest performs an idealized march-style test on a crossbar:
+// every cell is written to Gmin and read, then written to Gmax and
+// read; a cell that cannot present both extremes is flagged. coverage
+// in (0, 1] models imperfect test escape — each faulty cell is
+// detected with that probability (1 = perfect detection, as assumed by
+// the repair baselines in the paper's related work [22], [23]).
+//
+// The test is non-destructive here: programmed targets are restored
+// afterwards, modeling the re-programming pass that follows testing.
+func MarchTest(x *Crossbar, coverage float64, rng *tensor.RNG) []DetectedFault {
+	if coverage <= 0 || coverage > 1 {
+		panic("reram: march coverage must be in (0,1]")
+	}
+	var found []DetectedFault
+	saved := make([]float64, x.Rows*x.Cols)
+	for r := 0; r < x.Rows; r++ {
+		for c := 0; c < x.Cols; c++ {
+			saved[r*x.Cols+c] = x.Target(r, c)
+		}
+	}
+	for r := 0; r < x.Rows; r++ {
+		for c := 0; c < x.Cols; c++ {
+			x.Program(r, c, x.Gmin)
+			low := x.Effective(r, c)
+			x.Program(r, c, x.Gmax)
+			high := x.Effective(r, c)
+			var kind CellFault
+			switch {
+			case low != x.Gmin: // cannot reach the low rail → stuck on
+				kind = FaultSA1
+			case high != x.Gmax: // cannot reach the high rail → stuck off
+				kind = FaultSA0
+			default:
+				continue
+			}
+			if coverage < 1 && rng.Float64() >= coverage {
+				continue // test escape
+			}
+			found = append(found, DetectedFault{Row: r, Col: c, Kind: kind})
+		}
+	}
+	for r := 0; r < x.Rows; r++ {
+		for c := 0; c < x.Cols; c++ {
+			x.Program(r, c, saved[r*x.Cols+c])
+		}
+	}
+	return found
+}
+
+// MarchTestMatrix runs MarchTest over every tile of a mapped matrix
+// and returns per-tile detections keyed by (rowTile, colTile, posArray).
+type TileFaults struct {
+	RowTile, ColTile int
+	Positive         bool
+	Faults           []DetectedFault
+}
+
+// MarchTestMatrix tests all tiles of m.
+func MarchTestMatrix(m *MappedMatrix, coverage float64, rng *tensor.RNG) []TileFaults {
+	var out []TileFaults
+	rt, ct := m.TileGrid()
+	for i := 0; i < rt; i++ {
+		for j := 0; j < ct; j++ {
+			pos, neg := m.Tiles(i, j)
+			if f := MarchTest(pos, coverage, rng); len(f) > 0 {
+				out = append(out, TileFaults{RowTile: i, ColTile: j, Positive: true, Faults: f})
+			}
+			if f := MarchTest(neg, coverage, rng); len(f) > 0 {
+				out = append(out, TileFaults{RowTile: i, ColTile: j, Positive: false, Faults: f})
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,153 @@
+package reram
+
+// Column remapping baseline (Chen et al., DATE'17 [3]): instead of
+// spending spare columns, permute which logical output column is routed
+// onto which physical crossbar column, so that columns whose cells are
+// stuck land on outputs whose desired conductances are closest to the
+// stuck values. The permutation is free in hardware (programming order
+// plus output routing), but — like fault-aware retraining — it is
+// device-specific: it must be recomputed for every manufactured chip
+// against its own defect map.
+
+// RemapReport summarizes one remapping pass.
+type RemapReport struct {
+	TilesRemapped int
+	CostBefore    float64 // Σ (G_desired − G_effective)² before
+	CostAfter     float64 // after remapping
+}
+
+// remapCost is the squared conductance error logical column lc's
+// targets suffer when routed onto physical column p's fault pattern.
+func remapCost(x *Crossbar, lc, p int) float64 {
+	var cost float64
+	for r := 0; r < x.Rows; r++ {
+		want := x.g[r*x.Cols+lc]
+		switch x.faults[r*x.Cols+p] {
+		case FaultSA0:
+			d := want - x.Gmin
+			cost += d * d
+		case FaultSA1:
+			d := want - x.Gmax
+			cost += d * d
+		}
+	}
+	return cost
+}
+
+// RemapColumns greedily assigns logical columns to physical columns on
+// every tile of m, processing the logical columns that suffer the
+// largest fault-induced error first, and installs the permutation via
+// SetColPerm when it reduces the total squared conductance error.
+//
+// Greedy assignment is the standard heuristic for this baseline; an
+// optimal assignment would solve a bipartite matching.
+func RemapColumns(m *MappedMatrix) RemapReport {
+	rep := RemapReport{}
+	rt, ct := m.TileGrid()
+	for i := 0; i < rt; i++ {
+		for j := 0; j < ct; j++ {
+			pos, neg := m.Tiles(i, j)
+			for _, xb := range []*Crossbar{pos, neg} {
+				before, after, changed := remapOne(xb)
+				rep.CostBefore += before
+				rep.CostAfter += after
+				if changed {
+					rep.TilesRemapped++
+				}
+			}
+		}
+	}
+	return rep
+}
+
+// ResetColPerms restores identity routing on every tile of m.
+func (m *MappedMatrix) ResetColPerms() {
+	rt, ct := m.TileGrid()
+	for i := 0; i < rt; i++ {
+		for j := 0; j < ct; j++ {
+			pos, neg := m.Tiles(i, j)
+			pos.SetColPerm(nil)
+			neg.SetColPerm(nil)
+		}
+	}
+}
+
+// remapOne remaps a single crossbar; returns identity-routing cost,
+// achieved cost, and whether a permutation was installed.
+func remapOne(x *Crossbar) (before, after float64, changed bool) {
+	x.SetColPerm(nil) // evaluate and assign against identity routing
+	n := x.Cols
+	idCosts := make([]float64, n)
+	var hurt []int
+	for c := 0; c < n; c++ {
+		idCosts[c] = remapCost(x, c, c)
+		before += idCosts[c]
+	}
+	for c := 0; c < n; c++ {
+		if idCosts[c] > 0 {
+			hurt = append(hurt, c)
+		}
+	}
+	if len(hurt) == 0 {
+		return before, before, false
+	}
+
+	assign := make([]int, n) // logical → physical
+	taken := make([]bool, n)
+	for i := range assign {
+		assign[i] = -1
+	}
+	// Worst-hurt logical columns pick their best free physical column
+	// first (selection sort by descending identity cost).
+	order := append([]int(nil), hurt...)
+	for i := 0; i < len(order); i++ {
+		best := i
+		for j := i + 1; j < len(order); j++ {
+			if idCosts[order[j]] > idCosts[order[best]] {
+				best = j
+			}
+		}
+		order[i], order[best] = order[best], order[i]
+	}
+	for _, lc := range order {
+		bestP, bestCost := -1, 0.0
+		for p := 0; p < n; p++ {
+			if taken[p] {
+				continue
+			}
+			c := remapCost(x, lc, p)
+			if bestP == -1 || c < bestCost {
+				bestP, bestCost = p, c
+			}
+		}
+		assign[lc] = bestP
+		taken[bestP] = true
+	}
+	// Remaining logical columns keep their own slot when free, else
+	// take any free one.
+	for lc := 0; lc < n; lc++ {
+		if assign[lc] != -1 {
+			continue
+		}
+		if !taken[lc] {
+			assign[lc] = lc
+			taken[lc] = true
+			continue
+		}
+		for p := 0; p < n; p++ {
+			if !taken[p] {
+				assign[lc] = p
+				taken[p] = true
+				break
+			}
+		}
+	}
+	for lc := 0; lc < n; lc++ {
+		after += remapCost(x, lc, assign[lc])
+	}
+	if after >= before {
+		return before, before, false
+	}
+	x.SetColPerm(assign)
+	return before, after, true
+}

@@ -1,0 +1,87 @@
+package reram
+
+import (
+	"github.com/ftpim/ftpim/internal/tensor"
+)
+
+// RepairReport summarizes a redundant-column repair pass.
+type RepairReport struct {
+	FaultyColumns   int // logical columns with ≥1 detected fault
+	RepairedColumns int // columns remapped to a healthy spare
+	SparesUsed      int
+	SparesAvailable int
+}
+
+// RepairColumns implements the redundant-column baseline (Liu et al.,
+// DAC'17 [4]): each crossbar tile carries `spares` spare columns; a
+// logical column containing at least one detected faulty cell is
+// remapped onto a healthy spare until the tile's spares run out.
+//
+// The simulation realizes a successful remap by clearing the fault
+// state of the repaired column (its cells are now physically the
+// spare's, which march-tested healthy). Spare columns themselves fail
+// at the same per-cell rate, which is modeled by drawing the number of
+// healthy spares per tile binomially with the same fault statistics.
+func RepairColumns(m *MappedMatrix, detections []TileFaults, spares int, cellFaultRate float64, rng *tensor.RNG) RepairReport {
+	rep := RepairReport{}
+	// Index detections per physical tile array.
+	type key struct {
+		rt, ct int
+		pos    bool
+	}
+	byTile := map[key][]DetectedFault{}
+	for _, tf := range detections {
+		byTile[key{tf.RowTile, tf.ColTile, tf.Positive}] = tf.Faults
+	}
+	rt, ct := m.TileGrid()
+	for i := 0; i < rt; i++ {
+		for j := 0; j < ct; j++ {
+			for _, positive := range []bool{true, false} {
+				pos, neg := m.Tiles(i, j)
+				xb := pos
+				if !positive {
+					xb = neg
+				}
+				faults := byTile[key{i, j, positive}]
+				if len(faults) == 0 {
+					continue
+				}
+				// Healthy spares: each spare column survives if all its
+				// cells are fault-free.
+				healthySpares := 0
+				for s := 0; s < spares; s++ {
+					ok := true
+					for r := 0; r < xb.Rows; r++ {
+						if rng.Float64() < cellFaultRate {
+							ok = false
+							break
+						}
+					}
+					if ok {
+						healthySpares++
+					}
+				}
+				rep.SparesAvailable += spares
+				// Columns with faults, worst (most faults) first would be
+				// smarter; simple order is what [4] evaluates.
+				colFaults := map[int]int{}
+				for _, f := range faults {
+					colFaults[f.Col]++
+				}
+				rep.FaultyColumns += len(colFaults)
+				for col := 0; col < xb.Cols && healthySpares > 0; col++ {
+					if colFaults[col] == 0 {
+						continue
+					}
+					for r := 0; r < xb.Rows; r++ {
+						xb.SetFault(r, col, FaultNone)
+					}
+					healthySpares--
+					rep.SparesUsed++
+					rep.RepairedColumns++
+				}
+			}
+		}
+	}
+	return rep
+}

@@ -1,0 +1,47 @@
+package reram
+
+import (
+	"github.com/ftpim/ftpim/internal/tensor"
+)
+
+// ApplyWriteNoise perturbs every healthy cell's programmed conductance
+// by multiplicative Gaussian noise with relative standard deviation
+// relStd, clamped to [Gmin, Gmax]. This models the residual
+// program-verify error of real ReRAM writes (device-to-device and
+// cycle-to-cycle variation), the second non-ideality (after stuck-at
+// faults) discussed in the paper's ReRAM background.
+func (x *Crossbar) ApplyWriteNoise(rng *tensor.RNG, relStd float64) {
+	if relStd < 0 {
+		panic("reram: negative write-noise std")
+	}
+	if relStd == 0 {
+		return
+	}
+	for i := range x.g {
+		g := x.g[i] * (1 + float64(rng.Normal(0, relStd)))
+		if g < x.Gmin {
+			g = x.Gmin
+		}
+		if g > x.Gmax {
+			g = x.Gmax
+		}
+		x.g[i] = g
+	}
+}
+
+// ApplyWriteNoise perturbs every tile of the mapped matrix.
+func (m *MappedMatrix) ApplyWriteNoise(rng *tensor.RNG, relStd float64) {
+	for rt := range m.pos {
+		for ct := range m.pos[rt] {
+			m.pos[rt][ct].ApplyWriteNoise(rng, relStd)
+			m.neg[rt][ct].ApplyWriteNoise(rng, relStd)
+		}
+	}
+}
+
+// ApplyWriteNoise perturbs the whole mapped network.
+func (mn *MappedNetwork) ApplyWriteNoise(rng *tensor.RNG, relStd float64) {
+	for _, m := range mn.Mats {
+		m.ApplyWriteNoise(rng, relStd)
+	}
+}

@@ -1,0 +1,99 @@
+package tensor
+
+// ConvOutSize returns the output spatial size of a convolution over an
+// input of size in with the given kernel size, stride and symmetric
+// zero padding.
+func ConvOutSize(in, kernel, stride, pad int) int {
+	return (in+2*pad-kernel)/stride + 1
+}
+
+// Im2Col lowers one CHW image into a (C·kh·kw) × (outH·outW) column
+// matrix stored row-major in dst, the standard lowering that turns a
+// convolution into a GEMM. src holds C·H·W elements; dst must hold
+// C·kh·kw·outH·outW elements. Out-of-bounds taps read as zero
+// (zero padding).
+func Im2Col(src []float32, c, h, w, kh, kw, stride, pad int, dst []float32) {
+	outH := ConvOutSize(h, kh, stride, pad)
+	outW := ConvOutSize(w, kw, stride, pad)
+	outArea := outH * outW
+	if len(src) < c*h*w {
+		panic("tensor: Im2Col src too small")
+	}
+	if len(dst) < c*kh*kw*outArea {
+		panic("tensor: Im2Col dst too small")
+	}
+	row := 0
+	for ch := 0; ch < c; ch++ {
+		chBase := ch * h * w
+		for ky := 0; ky < kh; ky++ {
+			for kx := 0; kx < kw; kx++ {
+				d := dst[row*outArea : (row+1)*outArea]
+				row++
+				di := 0
+				for oy := 0; oy < outH; oy++ {
+					iy := oy*stride - pad + ky
+					if iy < 0 || iy >= h {
+						for ox := 0; ox < outW; ox++ {
+							d[di] = 0
+							di++
+						}
+						continue
+					}
+					rowBase := chBase + iy*w
+					ix := -pad + kx
+					for ox := 0; ox < outW; ox++ {
+						if ix >= 0 && ix < w {
+							d[di] = src[rowBase+ix]
+						} else {
+							d[di] = 0
+						}
+						di++
+						ix += stride
+					}
+				}
+			}
+		}
+	}
+}
+
+// Col2Im scatters a column matrix produced by Im2Col back into a CHW
+// image, accumulating where patches overlap. dst (C·H·W) is expected to
+// be pre-zeroed by the caller when a fresh gradient is wanted.
+func Col2Im(col []float32, c, h, w, kh, kw, stride, pad int, dst []float32) {
+	outH := ConvOutSize(h, kh, stride, pad)
+	outW := ConvOutSize(w, kw, stride, pad)
+	outArea := outH * outW
+	if len(dst) < c*h*w {
+		panic("tensor: Col2Im dst too small")
+	}
+	if len(col) < c*kh*kw*outArea {
+		panic("tensor: Col2Im col too small")
+	}
+	row := 0
+	for ch := 0; ch < c; ch++ {
+		chBase := ch * h * w
+		for ky := 0; ky < kh; ky++ {
+			for kx := 0; kx < kw; kx++ {
+				s := col[row*outArea : (row+1)*outArea]
+				row++
+				si := 0
+				for oy := 0; oy < outH; oy++ {
+					iy := oy*stride - pad + ky
+					if iy < 0 || iy >= h {
+						si += outW
+						continue
+					}
+					rowBase := chBase + iy*w
+					ix := -pad + kx
+					for ox := 0; ox < outW; ox++ {
+						if ix >= 0 && ix < w {
+							dst[rowBase+ix] += s[si]
+						}
+						si++
+						ix += stride
+					}
+				}
+			}
+		}
+	}
+}

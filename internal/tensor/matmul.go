@@ -1,0 +1,147 @@
+package tensor
+
+import "fmt"
+
+// MatMul returns A·B for rank-2 tensors A (m×k) and B (k×n).
+func MatMul(a, b *Tensor) *Tensor {
+	out := New(a.shape[0], b.shape[1])
+	MatMulInto(out, a, b)
+	return out
+}
+
+// MatMulInto computes out = A·B, reusing out's storage. out must be
+// m×n, A m×k, B k×n. The kernel is an ikj loop with 4-wide manual
+// unrolling over the inner dimension, which is the sweet spot for the
+// pure-Go single-core regime this library targets.
+func MatMulInto(out, a, b *Tensor) {
+	if len(a.shape) != 2 || len(b.shape) != 2 || len(out.shape) != 2 {
+		panic("tensor: MatMul requires rank-2 tensors")
+	}
+	m, k := a.shape[0], a.shape[1]
+	k2, n := b.shape[0], b.shape[1]
+	if k != k2 || out.shape[0] != m || out.shape[1] != n {
+		panic(fmt.Sprintf("tensor: MatMul shape mismatch %v · %v -> %v", a.shape, b.shape, out.shape))
+	}
+	ad, bd, od := a.data, b.data, out.data
+	for i := 0; i < m; i++ {
+		orow := od[i*n : (i+1)*n]
+		for x := range orow {
+			orow[x] = 0
+		}
+		arow := ad[i*k : (i+1)*k]
+		p := 0
+		for ; p+4 <= k; p += 4 {
+			a0, a1, a2, a3 := arow[p], arow[p+1], arow[p+2], arow[p+3]
+			if a0 == 0 && a1 == 0 && a2 == 0 && a3 == 0 {
+				continue
+			}
+			b0 := bd[p*n : p*n+n]
+			b1 := bd[(p+1)*n : (p+1)*n+n]
+			b2 := bd[(p+2)*n : (p+2)*n+n]
+			b3 := bd[(p+3)*n : (p+3)*n+n]
+			for j := range orow {
+				orow[j] += a0*b0[j] + a1*b1[j] + a2*b2[j] + a3*b3[j]
+			}
+		}
+		for ; p < k; p++ {
+			av := arow[p]
+			if av == 0 {
+				continue
+			}
+			brow := bd[p*n : p*n+n]
+			for j := range orow {
+				orow[j] += av * brow[j]
+			}
+		}
+	}
+}
+
+// MatMulTA computes Aᵀ·B for A (k×m) and B (k×n), yielding m×n.
+// Used for weight gradients without materializing the transpose.
+func MatMulTA(a, b *Tensor) *Tensor {
+	out := New(a.shape[1], b.shape[1])
+	MatMulTAInto(out, a, b)
+	return out
+}
+
+// MatMulTAInto computes out = Aᵀ·B into out (m×n), A (k×m), B (k×n).
+func MatMulTAInto(out, a, b *Tensor) {
+	k, m := a.shape[0], a.shape[1]
+	k2, n := b.shape[0], b.shape[1]
+	if k != k2 || out.shape[0] != m || out.shape[1] != n {
+		panic(fmt.Sprintf("tensor: MatMulTA shape mismatch %v ᵀ· %v -> %v", a.shape, b.shape, out.shape))
+	}
+	od := out.data
+	for x := range od {
+		od[x] = 0
+	}
+	ad, bd := a.data, b.data
+	// out[i][j] += a[p][i] * b[p][j]: iterate p outer so both reads are
+	// sequential; accumulate rank-1 updates.
+	for p := 0; p < k; p++ {
+		arow := ad[p*m : (p+1)*m]
+		brow := bd[p*n : (p+1)*n]
+		for i, av := range arow {
+			if av == 0 {
+				continue
+			}
+			orow := od[i*n : (i+1)*n]
+			for j, bv := range brow {
+				orow[j] += av * bv
+			}
+		}
+	}
+}
+
+// MatMulTB computes A·Bᵀ for A (m×k) and B (n×k), yielding m×n.
+// Used for input gradients: dX = dY · Wᵀ.
+func MatMulTB(a, b *Tensor) *Tensor {
+	out := New(a.shape[0], b.shape[0])
+	MatMulTBInto(out, a, b)
+	return out
+}
+
+// MatMulTBInto computes out = A·Bᵀ into out (m×n), A (m×k), B (n×k).
+func MatMulTBInto(out, a, b *Tensor) {
+	m, k := a.shape[0], a.shape[1]
+	n, k2 := b.shape[0], b.shape[1]
+	if k != k2 || out.shape[0] != m || out.shape[1] != n {
+		panic(fmt.Sprintf("tensor: MatMulTB shape mismatch %v · %v ᵀ-> %v", a.shape, b.shape, out.shape))
+	}
+	ad, bd, od := a.data, b.data, out.data
+	for i := 0; i < m; i++ {
+		arow := ad[i*k : (i+1)*k]
+		orow := od[i*n : (i+1)*n]
+		for j := 0; j < n; j++ {
+			brow := bd[j*k : (j+1)*k]
+			var s float32
+			p := 0
+			for ; p+4 <= k; p += 4 {
+				s += arow[p]*brow[p] + arow[p+1]*brow[p+1] +
+					arow[p+2]*brow[p+2] + arow[p+3]*brow[p+3]
+			}
+			for ; p < k; p++ {
+				s += arow[p] * brow[p]
+			}
+			orow[j] = s
+		}
+	}
+}
+
+// MatVec computes y = A·x for A (m×n) and x (n), yielding y (m).
+func MatVec(a *Tensor, x []float32) []float32 {
+	m, n := a.shape[0], a.shape[1]
+	if len(x) != n {
+		panic(fmt.Sprintf("tensor: MatVec shape mismatch %v · vec(%d)", a.shape, len(x)))
+	}
+	y := make([]float32, m)
+	for i := 0; i < m; i++ {
+		row := a.data[i*n : (i+1)*n]
+		var s float32
+		for j, v := range row {
+			s += v * x[j]
+		}
+		y[i] = s
+	}
+	return y
+}

@@ -1,0 +1,83 @@
+package tensor
+
+import (
+	"hash/fnv"
+	"math"
+	"math/rand/v2"
+)
+
+// RNG is the deterministic random source used everywhere in the
+// library. All experiment stochasticity (init, shuffling, fault draws)
+// flows through named sub-streams of a single root seed so that runs
+// are exactly reproducible.
+type RNG struct {
+	*rand.Rand
+	seed uint64
+}
+
+// NewRNG returns a PCG-backed RNG for the given seed.
+func NewRNG(seed uint64) *RNG {
+	return &RNG{Rand: rand.New(rand.NewPCG(seed, seed^0x9e3779b97f4a7c15)), seed: seed}
+}
+
+// Seed returns the seed the RNG was created with.
+func (r *RNG) Seed() uint64 { return r.seed }
+
+// Stream derives an independent child RNG named by a string. Two
+// streams with different names are statistically independent; the same
+// (seed, name) pair always yields the same stream.
+func (r *RNG) Stream(name string) *RNG {
+	h := fnv.New64a()
+	h.Write([]byte(name))
+	return NewRNG(r.seed ^ h.Sum64())
+}
+
+// StreamN derives an independent child RNG named by a string and an
+// index, for per-run / per-epoch sub-streams.
+func (r *RNG) StreamN(name string, n int) *RNG {
+	h := fnv.New64a()
+	h.Write([]byte(name))
+	child := r.seed ^ h.Sum64()
+	return NewRNG(child*0x9e3779b97f4a7c15 + uint64(n)*0xbf58476d1ce4e5b9 + 0x94d049bb133111eb)
+}
+
+// Normal returns a normally distributed float32 with the given mean and
+// standard deviation.
+func (r *RNG) Normal(mean, std float64) float32 {
+	return float32(mean + std*r.NormFloat64())
+}
+
+// FillNormal fills t with N(mean, std²) samples.
+func FillNormal(t *Tensor, r *RNG, mean, std float64) {
+	for i := range t.data {
+		t.data[i] = r.Normal(mean, std)
+	}
+}
+
+// FillUniform fills t with samples from U[lo, hi).
+func FillUniform(t *Tensor, r *RNG, lo, hi float64) {
+	for i := range t.data {
+		t.data[i] = float32(lo + (hi-lo)*r.Float64())
+	}
+}
+
+// InitHe fills t with Kaiming-He normal initialization for a layer with
+// the given fan-in, the standard choice for ReLU networks.
+func InitHe(t *Tensor, r *RNG, fanIn int) {
+	if fanIn <= 0 {
+		panic("tensor: InitHe requires positive fan-in")
+	}
+	FillNormal(t, r, 0, math.Sqrt(2/float64(fanIn)))
+}
+
+// InitXavier fills t with Glorot-uniform initialization.
+func InitXavier(t *Tensor, r *RNG, fanIn, fanOut int) {
+	if fanIn <= 0 || fanOut <= 0 {
+		panic("tensor: InitXavier requires positive fans")
+	}
+	limit := math.Sqrt(6 / float64(fanIn+fanOut))
+	FillUniform(t, r, -limit, limit)
+}
+
+// Perm returns a random permutation of [0, n).
+func (r *RNG) Perm(n int) []int { return r.Rand.Perm(n) }

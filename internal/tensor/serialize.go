@@ -1,0 +1,107 @@
+package tensor
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+)
+
+// Binary layout: magic "FTT1", rank (uint32), dims (uint32 each),
+// then raw little-endian float32 payload.
+var magic = [4]byte{'F', 'T', 'T', '1'}
+
+// WriteTo serializes t to w in the library's binary format.
+func (t *Tensor) WriteTo(w io.Writer) (int64, error) {
+	var n int64
+	k, err := w.Write(magic[:])
+	n += int64(k)
+	if err != nil {
+		return n, err
+	}
+	hdr := make([]byte, 4+4*len(t.shape))
+	binary.LittleEndian.PutUint32(hdr, uint32(len(t.shape)))
+	for i, d := range t.shape {
+		binary.LittleEndian.PutUint32(hdr[4+4*i:], uint32(d))
+	}
+	k, err = w.Write(hdr)
+	n += int64(k)
+	if err != nil {
+		return n, err
+	}
+	buf := make([]byte, 4*len(t.data))
+	for i, v := range t.data {
+		binary.LittleEndian.PutUint32(buf[4*i:], math.Float32bits(v))
+	}
+	k, err = w.Write(buf)
+	n += int64(k)
+	return n, err
+}
+
+// ReadFrom deserializes a tensor from r, replacing t's contents.
+func (t *Tensor) ReadFrom(r io.Reader) (int64, error) {
+	var n int64
+	var m [4]byte
+	k, err := io.ReadFull(r, m[:])
+	n += int64(k)
+	if err != nil {
+		return n, err
+	}
+	if m != magic {
+		return n, fmt.Errorf("tensor: bad magic %q", m[:])
+	}
+	var rk [4]byte
+	k, err = io.ReadFull(r, rk[:])
+	n += int64(k)
+	if err != nil {
+		return n, err
+	}
+	rank := int(binary.LittleEndian.Uint32(rk[:]))
+	if rank < 0 || rank > 16 {
+		return n, fmt.Errorf("tensor: implausible rank %d", rank)
+	}
+	dims := make([]byte, 4*rank)
+	k, err = io.ReadFull(r, dims)
+	n += int64(k)
+	if err != nil {
+		return n, err
+	}
+	shape := make([]int, rank)
+	total := 1
+	for i := range shape {
+		shape[i] = int(binary.LittleEndian.Uint32(dims[4*i:]))
+		total *= shape[i]
+	}
+	if total < 0 || total > 1<<30 {
+		return n, fmt.Errorf("tensor: implausible element count %d", total)
+	}
+	payload := make([]byte, 4*total)
+	k, err = io.ReadFull(r, payload)
+	n += int64(k)
+	if err != nil {
+		return n, err
+	}
+	data := make([]float32, total)
+	for i := range data {
+		data[i] = math.Float32frombits(binary.LittleEndian.Uint32(payload[4*i:]))
+	}
+	t.shape = shape
+	t.data = data
+	return n, nil
+}
+
+// GobEncode implements gob.GobEncoder.
+func (t *Tensor) GobEncode() ([]byte, error) {
+	var buf bytes.Buffer
+	if _, err := t.WriteTo(&buf); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// GobDecode implements gob.GobDecoder.
+func (t *Tensor) GobDecode(b []byte) error {
+	_, err := t.ReadFrom(bytes.NewReader(b))
+	return err
+}

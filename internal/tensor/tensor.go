@@ -1,0 +1,252 @@
+// Package tensor implements dense float32 tensors and the numeric
+// kernels (GEMM, im2col convolution lowering, elementwise maps and
+// reductions) that the rest of the library is built on.
+//
+// Tensors are row-major and always contiguous. The package is
+// deliberately small and allocation-conscious: every hot kernel has an
+// "into destination" form so training loops can reuse buffers.
+package tensor
+
+import (
+	"fmt"
+	"math"
+)
+
+// Tensor is a dense, row-major, contiguous float32 tensor.
+//
+// The zero value is an empty tensor; use New or the constructors below
+// for anything useful.
+type Tensor struct {
+	shape []int
+	data  []float32
+}
+
+// New returns a zero-filled tensor with the given shape. A scalar may be
+// created with New() (rank 0, one element).
+func New(shape ...int) *Tensor {
+	n := 1
+	for _, d := range shape {
+		if d < 0 {
+			panic(fmt.Sprintf("tensor: negative dimension %d in shape %v", d, shape))
+		}
+		n *= d
+	}
+	s := make([]int, len(shape))
+	copy(s, shape)
+	return &Tensor{shape: s, data: make([]float32, n)}
+}
+
+// FromSlice wraps data in a tensor of the given shape. The slice is used
+// directly (not copied); len(data) must equal the shape's element count.
+func FromSlice(data []float32, shape ...int) *Tensor {
+	n := 1
+	for _, d := range shape {
+		n *= d
+	}
+	if len(data) != n {
+		panic(fmt.Sprintf("tensor: data length %d does not match shape %v (=%d)", len(data), shape, n))
+	}
+	s := make([]int, len(shape))
+	copy(s, shape)
+	return &Tensor{shape: s, data: data}
+}
+
+// Full returns a tensor with every element set to v.
+func Full(v float32, shape ...int) *Tensor {
+	t := New(shape...)
+	for i := range t.data {
+		t.data[i] = v
+	}
+	return t
+}
+
+// Ones returns a tensor of ones.
+func Ones(shape ...int) *Tensor { return Full(1, shape...) }
+
+// Shape returns the tensor's shape. The returned slice must not be
+// mutated by the caller.
+func (t *Tensor) Shape() []int { return t.shape }
+
+// Dim returns the size of dimension i.
+func (t *Tensor) Dim(i int) int { return t.shape[i] }
+
+// Rank returns the number of dimensions.
+func (t *Tensor) Rank() int { return len(t.shape) }
+
+// Len returns the total number of elements.
+func (t *Tensor) Len() int { return len(t.data) }
+
+// Data returns the backing slice. Mutations are visible to the tensor.
+func (t *Tensor) Data() []float32 { return t.data }
+
+// SameShape reports whether t and u have identical shapes.
+func (t *Tensor) SameShape(u *Tensor) bool {
+	if len(t.shape) != len(u.shape) {
+		return false
+	}
+	for i, d := range t.shape {
+		if u.shape[i] != d {
+			return false
+		}
+	}
+	return true
+}
+
+// Reshape returns a view of t with a new shape covering the same number
+// of elements. The data is shared.
+func (t *Tensor) Reshape(shape ...int) *Tensor {
+	n := 1
+	for _, d := range shape {
+		n *= d
+	}
+	if n != len(t.data) {
+		panic(fmt.Sprintf("tensor: cannot reshape %v (%d elems) to %v (%d elems)", t.shape, len(t.data), shape, n))
+	}
+	s := make([]int, len(shape))
+	copy(s, shape)
+	return &Tensor{shape: s, data: t.data}
+}
+
+// Clone returns a deep copy of t.
+func (t *Tensor) Clone() *Tensor {
+	c := New(t.shape...)
+	copy(c.data, t.data)
+	return c
+}
+
+// CopyFrom copies u's data into t. Shapes must match in element count.
+func (t *Tensor) CopyFrom(u *Tensor) {
+	if len(t.data) != len(u.data) {
+		panic(fmt.Sprintf("tensor: CopyFrom size mismatch %v vs %v", t.shape, u.shape))
+	}
+	copy(t.data, u.data)
+}
+
+// Zero sets all elements to zero.
+func (t *Tensor) Zero() {
+	for i := range t.data {
+		t.data[i] = 0
+	}
+}
+
+// Fill sets all elements to v.
+func (t *Tensor) Fill(v float32) {
+	for i := range t.data {
+		t.data[i] = v
+	}
+}
+
+// At returns the element at the given multi-index.
+func (t *Tensor) At(idx ...int) float32 { return t.data[t.offset(idx)] }
+
+// Set stores v at the given multi-index.
+func (t *Tensor) Set(v float32, idx ...int) { t.data[t.offset(idx)] = v }
+
+func (t *Tensor) offset(idx []int) int {
+	if len(idx) != len(t.shape) {
+		panic(fmt.Sprintf("tensor: index rank %d does not match tensor rank %d", len(idx), len(t.shape)))
+	}
+	off := 0
+	for i, ix := range idx {
+		if ix < 0 || ix >= t.shape[i] {
+			panic(fmt.Sprintf("tensor: index %v out of range for shape %v", idx, t.shape))
+		}
+		off = off*t.shape[i] + ix
+	}
+	return off
+}
+
+// String renders a compact description (shape plus a few elements).
+func (t *Tensor) String() string {
+	n := len(t.data)
+	if n <= 8 {
+		return fmt.Sprintf("Tensor%v%v", t.shape, t.data)
+	}
+	return fmt.Sprintf("Tensor%v[%.4g %.4g %.4g ... %.4g] n=%d", t.shape,
+		t.data[0], t.data[1], t.data[2], t.data[n-1], n)
+}
+
+// Row returns a view of row i of a rank-2 tensor (shared data).
+func (t *Tensor) Row(i int) []float32 {
+	if len(t.shape) != 2 {
+		panic("tensor: Row requires rank-2 tensor")
+	}
+	c := t.shape[1]
+	return t.data[i*c : (i+1)*c]
+}
+
+// IsFinite reports whether every element is finite (no NaN/Inf).
+func (t *Tensor) IsFinite() bool {
+	for _, v := range t.data {
+		if math.IsNaN(float64(v)) || math.IsInf(float64(v), 0) {
+			return false
+		}
+	}
+	return true
+}
+
+// MaxAbs returns max_i |t_i| (0 for an empty tensor).
+func (t *Tensor) MaxAbs() float32 {
+	var m float32
+	for _, v := range t.data {
+		if v < 0 {
+			v = -v
+		}
+		if v > m {
+			m = v
+		}
+	}
+	return m
+}
+
+// Sum returns the sum of all elements in float64 for accuracy.
+func (t *Tensor) Sum() float64 {
+	var s float64
+	for _, v := range t.data {
+		s += float64(v)
+	}
+	return s
+}
+
+// Mean returns the arithmetic mean of all elements (0 for empty).
+func (t *Tensor) Mean() float64 {
+	if len(t.data) == 0 {
+		return 0
+	}
+	return t.Sum() / float64(len(t.data))
+}
+
+// Norm2 returns the Euclidean norm.
+func (t *Tensor) Norm2() float64 {
+	var s float64
+	for _, v := range t.data {
+		s += float64(v) * float64(v)
+	}
+	return math.Sqrt(s)
+}
+
+// Equal reports exact element-wise equality (and shape equality).
+func (t *Tensor) Equal(u *Tensor) bool {
+	if !t.SameShape(u) {
+		return false
+	}
+	for i, v := range t.data {
+		if u.data[i] != v {
+			return false
+		}
+	}
+	return true
+}
+
+// AllClose reports element-wise equality within absolute tolerance tol.
+func (t *Tensor) AllClose(u *Tensor, tol float64) bool {
+	if !t.SameShape(u) {
+		return false
+	}
+	for i, v := range t.data {
+		if math.Abs(float64(v)-float64(u.data[i])) > tol {
+			return false
+		}
+	}
+	return true
+}
