@@ -7,6 +7,8 @@ package ftpim
 // produced by `ftpim all -preset repro`.
 
 import (
+	"fmt"
+	"runtime"
 	"testing"
 
 	"github.com/ftpim/ftpim/internal/core"
@@ -201,6 +203,101 @@ func BenchmarkDefectEval(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		core.EvalDefect(net, test, 0.01, core.DefectEval{Runs: 1, Batch: 128, Seed: uint64(i)})
+	}
+}
+
+// benchWorkerCounts returns the worker axis for the parallel-vs-serial
+// benchmarks: 1 (the serial reference), intermediate powers of two,
+// and the machine's core count. On machines with fewer than 4 cores
+// the axis still ends at 4 so the parallel path's scheduling overhead
+// is measured (oversubscribed) rather than skipped.
+func benchWorkerCounts() []int {
+	top := runtime.NumCPU()
+	if top < 4 {
+		top = 4
+	}
+	counts := []int{1}
+	for w := 2; w < top; w *= 2 {
+		counts = append(counts, w)
+	}
+	return append(counts, top)
+}
+
+// BenchmarkEvalDefectParallel measures the Monte-Carlo defect-eval
+// protocol (the paper's inner loop: clone → inject → evaluate → undo ×
+// runs) at increasing worker counts. The workers=1 case is the exact
+// legacy serial path; all cases produce bit-identical Summaries, so
+// the ratio between them is pure speedup.
+func BenchmarkEvalDefectParallel(b *testing.B) {
+	s := experiments.ScaleFor("quick")
+	net := models.BuildResNet(models.ResNetConfig{
+		Depth: s.DepthC10, Classes: s.C10.Classes, InChannels: 3,
+		WidthMult: s.Width, Seed: s.Seed,
+	})
+	_, test := data.Generate(s.C10)
+	for _, w := range benchWorkerCounts() {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			cfg := core.DefectEval{Runs: 8, Batch: 64, Seed: 1, Workers: w}
+			for i := 0; i < b.N; i++ {
+				core.EvalDefect(net, test, 0.02, cfg)
+			}
+		})
+	}
+}
+
+// BenchmarkEvalDefectSweepParallel measures a full quick-preset Table-I
+// defect sweep (all testing rates) serial vs parallel — the acceptance
+// workload for the concurrency layer.
+func BenchmarkEvalDefectSweepParallel(b *testing.B) {
+	s := experiments.ScaleFor("quick")
+	net := models.BuildResNet(models.ResNetConfig{
+		Depth: s.DepthC10, Classes: s.C10.Classes, InChannels: 3,
+		WidthMult: s.Width, Seed: s.Seed,
+	})
+	_, test := data.Generate(s.C10)
+	for _, w := range benchWorkerCounts() {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			cfg := core.DefectEval{Runs: s.DefectRuns, Batch: 64, Seed: 1, Workers: w}
+			for i := 0; i < b.N; i++ {
+				core.EvalDefectSweep(net, test, s.TestRates, cfg)
+			}
+		})
+	}
+}
+
+// BenchmarkMatMulParallel measures the row-sharded GEMM kernel against
+// the serial reference on a shape above the shard threshold.
+func BenchmarkMatMulParallel(b *testing.B) {
+	rng := tensor.NewRNG(11)
+	a, bb := tensor.New(256, 256), tensor.New(256, 256)
+	tensor.FillNormal(a, rng, 0, 1)
+	tensor.FillNormal(bb, rng, 0, 1)
+	out := tensor.New(256, 256)
+	for _, w := range benchWorkerCounts() {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			old := tensor.SetWorkers(w)
+			defer tensor.SetWorkers(old)
+			for i := 0; i < b.N; i++ {
+				tensor.MatMulInto(out, a, bb)
+			}
+		})
+	}
+}
+
+// BenchmarkConvForwardParallel measures the batch-sharded im2col conv
+// forward (one ResNet inference batch) against the serial loop.
+func BenchmarkConvForwardParallel(b *testing.B) {
+	net := models.BuildResNet(models.ResNet20(10).Scaled(0.25))
+	x := tensor.New(32, 3, 12, 12)
+	tensor.FillNormal(x, tensor.NewRNG(1), 0, 1)
+	for _, w := range benchWorkerCounts() {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			old := tensor.SetWorkers(w)
+			defer tensor.SetWorkers(old)
+			for i := 0; i < b.N; i++ {
+				net.Forward(x, false)
+			}
+		})
 	}
 }
 

@@ -12,7 +12,12 @@
 //
 // The default preset ("repro") is the scaled-down reproduction
 // described in DESIGN.md; "paper" runs the full-scale protocol (slow);
-// "quick" is a smoke run.
+// "quick" is a seconds-scale run and "smoke" a sub-second one.
+//
+// -workers N parallelizes the defect-evaluation Monte-Carlo loop and
+// the large tensor kernels over N goroutines (default: all cores).
+// Results are bit-identical at every worker count; -workers 1 is the
+// exact legacy serial path.
 package main
 
 import (
@@ -21,6 +26,7 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"runtime"
 	"strings"
 
 	"github.com/ftpim/ftpim/internal/core"
@@ -42,7 +48,7 @@ func main() {
 		verb, args = args[0], args[1:]
 	}
 	fs := flag.NewFlagSet(cmd, flag.ExitOnError)
-	preset := fs.String("preset", "repro", "experiment scale: quick, repro, or paper")
+	preset := fs.String("preset", "repro", "experiment scale: smoke, quick, repro, or paper")
 	cache := fs.String("cache", ".cache", "model cache directory (empty to disable)")
 	dataset := fs.String("dataset", "both", "dataset: c10, c100, or both")
 	csv := fs.Bool("csv", false, "emit CSV instead of an aligned table")
@@ -51,6 +57,8 @@ func main() {
 	profile := fs.String("profile", "device.profile", "device: profile file path")
 	outDir := fs.String("out", "results", "output directory for 'all'")
 	verbose := fs.Bool("v", true, "log training progress")
+	workers := fs.Int("workers", runtime.NumCPU(),
+		"worker goroutines for defect evaluation and sharded kernels (1 = serial legacy path; results are identical at any count)")
 
 	if err := fs.Parse(args); err != nil {
 		os.Exit(2)
@@ -59,7 +67,9 @@ func main() {
 	if *verbose {
 		logf = func(format string, a ...any) { fmt.Fprintf(os.Stderr, format+"\n", a...) }
 	}
+	tensor.SetWorkers(*workers)
 	env := experiments.NewEnv(*preset, *cache, logf)
+	env.Scale.Workers = *workers
 
 	datasets := []string{"c10", "c100"}
 	switch *dataset {
@@ -256,5 +266,5 @@ commands:
   device    per-device workflow: draw | eval | retrain (-psa, -profile)
   all       regenerate everything into -out DIR
 
-common flags: -preset quick|repro|paper   -cache DIR   -dataset c10|c100|both`)
+common flags: -preset smoke|quick|repro|paper   -cache DIR   -dataset c10|c100|both   -workers N`)
 }

@@ -1,22 +1,32 @@
 package core
 
 import (
+	"runtime"
+	"sync"
+
 	"github.com/ftpim/ftpim/internal/data"
 	"github.com/ftpim/ftpim/internal/fault"
 	"github.com/ftpim/ftpim/internal/metrics"
 	"github.com/ftpim/ftpim/internal/nn"
-	"github.com/ftpim/ftpim/internal/tensor"
 )
 
 // DefectEval parameterizes the defect-accuracy protocol: the paper
 // applies random stuck-at faults to the trained weights and averages
 // the test accuracy over num_of_runs repetitions (100 in the paper;
 // the repro preset uses fewer).
+//
+// Workers bounds the goroutines used for the Monte-Carlo loop:
+// 0 → runtime.NumCPU(), 1 → the exact legacy serial path. Results are
+// bit-identical at every worker count: run r always draws its faults
+// from fault.RunRNG(Seed, r) and is evaluated on a private clone of
+// the network, so neither scheduling nor sharing can perturb the
+// floating-point stream.
 type DefectEval struct {
-	Runs  int
-	Batch int
-	Model fault.Model // zero value → fault.ChenModel()
-	Seed  uint64
+	Runs    int
+	Batch   int
+	Model   fault.Model // zero value → fault.ChenModel()
+	Seed    uint64
+	Workers int // 0 = all cores, 1 = serial reference path
 }
 
 func (d DefectEval) model() fault.Model {
@@ -26,6 +36,14 @@ func (d DefectEval) model() fault.Model {
 	return d.Model
 }
 
+// workers resolves the effective Monte-Carlo worker count.
+func (d DefectEval) workers() int {
+	if d.Workers > 0 {
+		return d.Workers
+	}
+	return runtime.NumCPU()
+}
+
 // EvalClean returns the fault-free test accuracy.
 func EvalClean(net *nn.Network, ds *data.Dataset, batch int) float64 {
 	return metrics.Evaluate(net, ds, batch)
@@ -33,7 +51,9 @@ func EvalClean(net *nn.Network, ds *data.Dataset, batch int) float64 {
 
 // EvalDefect measures the model's accuracy under stuck-at faults at
 // rate psa, averaged over cfg.Runs independent injections. The
-// network's weights are identical before and after the call.
+// network's weights are identical before and after the call. With
+// cfg.Workers != 1 the runs execute concurrently on private network
+// clones; the returned Summary is bit-identical to the serial path.
 func EvalDefect(net *nn.Network, ds *data.Dataset, psa float64, cfg DefectEval) metrics.Summary {
 	if cfg.Runs <= 0 {
 		cfg.Runs = 10
@@ -43,20 +63,61 @@ func EvalDefect(net *nn.Network, ds *data.Dataset, psa float64, cfg DefectEval) 
 		acc := metrics.Evaluate(net, ds, cfg.Batch)
 		return metrics.Summarize([]float64{acc})
 	}
-	weights := WeightTensors(net)
-	inj := fault.NewInjector(cfg.model(), weights)
-	rng := tensor.NewRNG(cfg.Seed)
+	if w := cfg.workers(); w > 1 && cfg.Runs > 1 {
+		return evalDefectParallel(net, ds, psa, cfg, w)
+	}
+	// Serial reference path: inject into the live network, evaluate,
+	// undo. The parallel path must match this bit for bit.
+	inj := fault.NewInjector(cfg.model(), WeightTensors(net))
 	accs := make([]float64, 0, cfg.Runs)
 	for run := 0; run < cfg.Runs; run++ {
-		lesion := inj.Inject(rng.StreamN("defect-run", run), psa)
+		lesion := inj.InjectRun(cfg.Seed, run, psa)
 		accs = append(accs, metrics.Evaluate(net, ds, cfg.Batch))
 		lesion.Undo()
 	}
 	return metrics.Summarize(accs)
 }
 
+// evalDefectParallel fans the Monte-Carlo runs out over w workers.
+// Each worker owns one deep clone of the network (fault injection
+// mutates weights in place, and layers keep scratch buffers, so the
+// live network cannot be shared); run r draws from fault.RunRNG
+// (cfg.Seed, r) exactly as the serial loop does and stores its
+// accuracy at index r, so the Summary is computed over the identical
+// value sequence regardless of scheduling.
+func evalDefectParallel(net *nn.Network, ds *data.Dataset, psa float64, cfg DefectEval, w int) metrics.Summary {
+	if w > cfg.Runs {
+		w = cfg.Runs
+	}
+	accs := make([]float64, cfg.Runs)
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	for i := 0; i < w; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			clone := net.Clone()
+			inj := fault.NewInjector(cfg.model(), WeightTensors(clone))
+			for run := range jobs {
+				lesion := inj.InjectRun(cfg.Seed, run, psa)
+				accs[run] = metrics.Evaluate(clone, ds, cfg.Batch)
+				lesion.Undo()
+			}
+		}()
+	}
+	for run := 0; run < cfg.Runs; run++ {
+		jobs <- run
+	}
+	close(jobs)
+	wg.Wait()
+	return metrics.Summarize(accs)
+}
+
 // EvalDefectSweep evaluates the model across a list of testing fault
 // rates, returning mean defect accuracy per rate — one Table I row.
+// Each rate's Monte-Carlo loop is parallelized by EvalDefect (rates
+// keep their independent derived seeds, so the sweep is bit-identical
+// at any cfg.Workers).
 func EvalDefectSweep(net *nn.Network, ds *data.Dataset, rates []float64, cfg DefectEval) []metrics.Summary {
 	out := make([]metrics.Summary, len(rates))
 	for i, r := range rates {
@@ -87,7 +148,9 @@ type StabilityReport struct {
 
 // Stability computes a StabilityReport for a (possibly FT-retrained)
 // network. accPretrain is the ideal accuracy of the original pretrained
-// model the FT model was derived from.
+// model the FT model was derived from. The per-rate defect runs are
+// parallelized by EvalDefect under cfg.Workers with bit-identical
+// results.
 func Stability(net *nn.Network, ds *data.Dataset, accPretrain float64, rates []float64, cfg DefectEval) StabilityReport {
 	rep := StabilityReport{
 		AccPretrain: accPretrain,

@@ -1,0 +1,135 @@
+// Determinism-equivalence suite for the parallel defect-evaluation
+// engine. Lives in an external test package so it can pull preset
+// definitions from internal/experiments without an import cycle.
+package core_test
+
+import (
+	"reflect"
+	"testing"
+
+	"github.com/ftpim/ftpim/internal/core"
+	"github.com/ftpim/ftpim/internal/data"
+	"github.com/ftpim/ftpim/internal/experiments"
+	"github.com/ftpim/ftpim/internal/models"
+	"github.com/ftpim/ftpim/internal/nn"
+	"github.com/ftpim/ftpim/internal/tensor"
+)
+
+// presetFixture builds a preset-scale model and test set without
+// training: deterministic He-initialized weights are exactly as
+// sensitive to scheduling bugs as trained ones, and keep the suite
+// fast enough for -race CI.
+func presetFixture(t *testing.T, preset string) (*nn.Network, *data.Dataset) {
+	t.Helper()
+	s := experiments.ScaleFor(preset)
+	net := models.BuildResNet(models.ResNetConfig{
+		Depth: s.DepthC10, Classes: s.C10.Classes, InChannels: 3,
+		WidthMult: s.Width, Seed: s.Seed,
+	})
+	_, test := data.Generate(s.C10)
+	return net, test
+}
+
+// TestEvalDefectDeterminism checks that EvalDefect produces exactly
+// equal Summary values (bitwise float equality) at every worker count,
+// on both the smoke and quick presets.
+func TestEvalDefectDeterminism(t *testing.T) {
+	for _, preset := range []string{"smoke", "quick"} {
+		t.Run(preset, func(t *testing.T) {
+			net, test := presetFixture(t, preset)
+			base := core.DefectEval{Runs: 6, Batch: 32, Seed: 42, Workers: 1}
+			for _, psa := range []float64{0.005, 0.05, 0.2} {
+				want := core.EvalDefect(net, test, psa, base)
+				for _, w := range []int{2, 3, 8} {
+					cfg := base
+					cfg.Workers = w
+					got := core.EvalDefect(net, test, psa, cfg)
+					if got != want {
+						t.Fatalf("psa=%g workers=%d: %+v != serial %+v", psa, w, got, want)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestEvalDefectSweepDeterminism checks the whole Table-I sweep is
+// bit-identical between the serial path and an 8-worker pool, and that
+// the live network's weights are untouched afterwards.
+func TestEvalDefectSweepDeterminism(t *testing.T) {
+	for _, preset := range []string{"smoke", "quick"} {
+		t.Run(preset, func(t *testing.T) {
+			s := experiments.ScaleFor(preset)
+			net, test := presetFixture(t, preset)
+			before := net.Snapshot()
+
+			serial := core.DefectEval{Runs: s.DefectRuns, Batch: 32, Seed: s.Seed * 31, Workers: 1}
+			parallel := serial
+			parallel.Workers = 8
+
+			want := core.EvalDefectSweep(net, test, s.TestRates, serial)
+			got := core.EvalDefectSweep(net, test, s.TestRates, parallel)
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("sweep differs:\nserial   %+v\nparallel %+v", want, got)
+			}
+			after := net.Snapshot()
+			if len(before) != len(after) {
+				t.Fatal("snapshot size changed")
+			}
+			for i := range before {
+				if before[i] != after[i] {
+					t.Fatal("EvalDefectSweep mutated the live network")
+				}
+			}
+		})
+	}
+}
+
+// TestStabilityDeterminism checks Stability reports match exactly
+// between worker counts on both presets.
+func TestStabilityDeterminism(t *testing.T) {
+	for _, preset := range []string{"smoke", "quick"} {
+		t.Run(preset, func(t *testing.T) {
+			s := experiments.ScaleFor(preset)
+			net, test := presetFixture(t, preset)
+			accPre := core.EvalClean(net, test, 32)
+
+			serial := core.DefectEval{Runs: 5, Batch: 32, Seed: 7, Workers: 1}
+			parallel := serial
+			parallel.Workers = 8
+			want := core.Stability(net, test, accPre, s.SSRates, serial)
+			got := core.Stability(net, test, accPre, s.SSRates, parallel)
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("stability differs:\nserial   %+v\nparallel %+v", want, got)
+			}
+		})
+	}
+}
+
+// TestEvalDefectWorkersDefault checks Workers: 0 (all cores) matches
+// the serial reference too — the default must not change results.
+func TestEvalDefectWorkersDefault(t *testing.T) {
+	net, test := presetFixture(t, "smoke")
+	serial := core.EvalDefect(net, test, 0.05, core.DefectEval{Runs: 4, Batch: 16, Seed: 9, Workers: 1})
+	auto := core.EvalDefect(net, test, 0.05, core.DefectEval{Runs: 4, Batch: 16, Seed: 9})
+	if serial != auto {
+		t.Fatalf("Workers=0 (%+v) differs from serial (%+v)", auto, serial)
+	}
+}
+
+// TestEvalDefectKernelWorkersInvariance drives the *kernel*-level knob
+// together with the Monte-Carlo pool: the sharded matmul/conv paths
+// inside Evaluate must not perturb results either.
+func TestEvalDefectKernelWorkersInvariance(t *testing.T) {
+	net, test := presetFixture(t, "smoke")
+	cfg := core.DefectEval{Runs: 4, Batch: 16, Seed: 3, Workers: 2}
+
+	old := tensor.SetWorkers(1)
+	want := core.EvalDefect(net, test, 0.02, cfg)
+	tensor.SetWorkers(8)
+	got := core.EvalDefect(net, test, 0.02, cfg)
+	tensor.SetWorkers(old)
+	if got != want {
+		t.Fatalf("kernel workers changed results: %+v != %+v", got, want)
+	}
+}

@@ -94,10 +94,14 @@ func (e *Env) buildModel(ds string) *nn.Network {
 }
 
 // scaleHash folds the full Scale into the cache key so stale caches
-// from a different configuration are never reused.
+// from a different configuration are never reused. Workers is
+// normalized out: parallelism is bit-deterministic, so a model trained
+// at any worker count is valid for every other.
 func (e *Env) scaleHash() uint64 {
+	s := e.Scale
+	s.Workers = 0
 	h := fnv.New64a()
-	fmt.Fprintf(h, "%+v", e.Scale)
+	fmt.Fprintf(h, "%+v", s)
 	return h.Sum64()
 }
 
@@ -242,7 +246,10 @@ func (e *Env) PrunedFT(ds string, sparsity, rate float64, progressive bool) *nn.
 
 // DefectEval returns the evaluation protocol at this scale.
 func (e *Env) DefectEval() core.DefectEval {
-	return core.DefectEval{Runs: e.Scale.DefectRuns, Batch: 128, Seed: e.Scale.Seed * 31}
+	return core.DefectEval{
+		Runs: e.Scale.DefectRuns, Batch: 128,
+		Seed: e.Scale.Seed * 31, Workers: e.Scale.Workers,
+	}
 }
 
 // mustRestore copies src's state into dst (architectures must match).

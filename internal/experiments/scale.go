@@ -13,8 +13,10 @@
 //   - "repro": the default scaled-down reproduction this repository's
 //     EXPERIMENTS.md is generated with — the same topologies at quarter
 //     width, 12×12 synthetic images, reduced epochs and defect runs.
-//   - "quick": a seconds-scale smoke configuration used by benchmarks
-//     and integration tests.
+//   - "quick": a seconds-scale configuration used by benchmarks and
+//     integration tests.
+//   - "smoke": the smallest runnable configuration — sub-second, used
+//     by determinism and CI smoke tests.
 package experiments
 
 import (
@@ -58,6 +60,12 @@ type Scale struct {
 	TrainRates []float64 // Table I training targets
 	SSRates    []float64 // Table II rates
 	Sparsities []float64 // Figure 2 pruning ratios
+
+	// Workers bounds the goroutines used by the defect-evaluation
+	// Monte-Carlo loop (0 = all cores, 1 = serial). Results are
+	// bit-identical at any setting, so it is excluded from model cache
+	// keys.
+	Workers int
 
 	Seed uint64
 }
@@ -123,6 +131,32 @@ func ScaleFor(preset string) Scale {
 			Sparsities: []float64{0.4, 0.7},
 			Seed:       42,
 		}
+	case "smoke":
+		return Scale{
+			Name: "smoke",
+			C10: data.SynthConfig{
+				Classes: 4, TrainPer: 12, TestPer: 6,
+				Channels: 3, Size: 8, Basis: 8, CoefNoise: 0.1,
+				NoiseStd: 0.3, ShiftMax: 1, JitterStd: 0.1, Seed: 1001,
+			},
+			C100: data.SynthConfig{
+				Classes: 8, TrainPer: 8, TestPer: 3,
+				Channels: 3, Size: 8, Basis: 10, CoefNoise: 0.08,
+				NoiseStd: 0.4, ShiftMax: 1, JitterStd: 0.1, Seed: 2002,
+			},
+			Width: 0.2, DepthC10: 8, DepthC100: 8,
+			PretrainEpochs: 2, FTEpochs: 2,
+			ProgRungs: 2, ProgEpochsPerStage: 1,
+			Batch: 8, LR: 0.08, FTLR: 0.04, Momentum: 0.9, WeightDecay: 5e-4,
+			Aug:        data.Augment{Flip: true, ShiftMax: 1},
+			ADMMEpochs: 2, FinetuneEpochs: 2, ADMMRho: 5e-3,
+			DefectRuns: 2,
+			TestRates:  []float64{0, 0.02, 0.1},
+			TrainRates: []float64{0.1},
+			SSRates:    []float64{0.02},
+			Sparsities: []float64{0.5},
+			Seed:       42,
+		}
 	case "quick":
 		return Scale{
 			Name: "quick",
@@ -150,6 +184,6 @@ func ScaleFor(preset string) Scale {
 			Seed:       42,
 		}
 	default:
-		panic(fmt.Sprintf("experiments: unknown preset %q (want paper, repro, or quick)", preset))
+		panic(fmt.Sprintf("experiments: unknown preset %q (want paper, repro, quick, or smoke)", preset))
 	}
 }

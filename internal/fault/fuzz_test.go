@@ -1,0 +1,95 @@
+package fault
+
+import (
+	"bytes"
+	"testing"
+
+	"github.com/ftpim/ftpim/internal/tensor"
+)
+
+func deviceMapBytes(dm *DeviceMap) []byte {
+	var buf bytes.Buffer
+	if err := dm.Save(&buf); err != nil {
+		panic(err)
+	}
+	return buf.Bytes()
+}
+
+// FuzzLoadDeviceMap feeds arbitrary bytes to the profile decoder: it
+// must reject or accept without panicking, and accepted maps must
+// survive a save/load/save round-trip unchanged.
+func FuzzLoadDeviceMap(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte("not a gob stream"))
+	r := tensor.NewRNG(3)
+	ts := []*tensor.Tensor{tensor.New(6, 9), tensor.New(20)}
+	for _, t := range ts {
+		tensor.FillNormal(t, r, 0, 1)
+	}
+	f.Add(deviceMapBytes(DrawDeviceMap(r.Stream("a"), ChenModel(), ts, 0.1)))
+	f.Add(deviceMapBytes(DrawDeviceMap(r.Stream("b"), Uniform(), ts, 0)))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		dm, err := LoadDeviceMap(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		b1 := deviceMapBytes(dm)
+		dm2, err := LoadDeviceMap(bytes.NewReader(b1))
+		if err != nil {
+			t.Fatalf("re-load of accepted map failed: %v", err)
+		}
+		if dm2.NumFaults() != dm.NumFaults() || dm2.Psa != dm.Psa {
+			t.Fatalf("round-trip changed map: %d/%g vs %d/%g",
+				dm2.NumFaults(), dm2.Psa, dm.NumFaults(), dm.Psa)
+		}
+		if !bytes.Equal(b1, deviceMapBytes(dm2)) {
+			t.Fatal("device-map serialization is not stable")
+		}
+	})
+}
+
+// FuzzDeviceMapRoundTrip draws device maps from fuzzed seeds and rates
+// over fuzzed tensor shapes and checks the profile archive round-trip
+// reproduces the exact defect pattern (same faults applied to the same
+// weights give the same lesion counts and weight values).
+func FuzzDeviceMapRoundTrip(f *testing.F) {
+	f.Add(uint64(1), uint8(10), uint8(5), uint8(7))
+	f.Add(uint64(99), uint8(0), uint8(1), uint8(1))
+	f.Add(uint64(7), uint8(255), uint8(16), uint8(3))
+
+	f.Fuzz(func(t *testing.T, seed uint64, rate, d0, d1 uint8) {
+		psa := float64(rate) / 255
+		rows, cols := int(d0%16)+1, int(d1%16)+1
+		r := tensor.NewRNG(seed)
+		w1 := tensor.New(rows, cols)
+		w2 := tensor.New(cols)
+		tensor.FillNormal(w1, r, 0, 1)
+		tensor.FillNormal(w2, r, 0, 1)
+		ts := []*tensor.Tensor{w1, w2}
+
+		dm := DrawDeviceMap(r.Stream("draw"), ChenModel(), ts, psa)
+		loaded, err := LoadDeviceMap(bytes.NewReader(deviceMapBytes(dm)))
+		if err != nil {
+			t.Fatalf("load of freshly saved map failed: %v", err)
+		}
+
+		apply := func(m *DeviceMap) ([]float32, int, int) {
+			lesion := m.Apply(ts)
+			defer lesion.Undo()
+			snap := append(append([]float32(nil), w1.Data()...), w2.Data()...)
+			sa0, sa1 := lesion.Counts()
+			return snap, sa0, sa1
+		}
+		wantW, want0, want1 := apply(dm)
+		gotW, got0, got1 := apply(loaded)
+		if got0 != want0 || got1 != want1 {
+			t.Fatalf("fault counts differ after round-trip: %d/%d vs %d/%d", got0, got1, want0, want1)
+		}
+		for i := range wantW {
+			if wantW[i] != gotW[i] {
+				t.Fatal("round-tripped map produced different faulted weights")
+			}
+		}
+	})
+}

@@ -163,6 +163,23 @@ func (inj *Injector) Inject(rng *tensor.RNG, psa float64) *Lesion {
 	return l
 }
 
+// RunRNG derives the canonical fault-sampling stream for Monte-Carlo
+// run `run` of a protocol rooted at seed. The stream depends only on
+// (seed, run) — not on which goroutine draws it or how many runs came
+// before — which is what lets the parallel evaluation protocol in
+// internal/core reproduce the serial path bit for bit at any worker
+// count.
+func RunRNG(seed uint64, run int) *tensor.RNG {
+	return tensor.NewRNG(seed).StreamN("defect-run", run)
+}
+
+// InjectRun applies one Monte-Carlo injection using the canonical
+// per-run stream (see RunRNG). Serial and parallel callers construct
+// identical lesions for the same (seed, run, psa).
+func (inj *Injector) InjectRun(seed uint64, run int, psa float64) *Lesion {
+	return inj.Inject(RunRNG(seed, run), psa)
+}
+
 // NumWeights returns the total number of weight elements covered.
 func (inj *Injector) NumWeights() int {
 	n := 0

@@ -18,12 +18,19 @@ type Conv2D struct {
 	Weight      *Param
 	Bias        *Param // nil when disabled
 	lastIn      *tensor.Tensor
-	colBuf      []float32 // per-sample im2col scratch
+	colBuf      []float32   // per-sample im2col scratch (serial path, backward)
+	colBufs     [][]float32 // per-shard im2col scratch (parallel forward)
 	dColBuf     *tensor.Tensor
 	dWTmp       *tensor.Tensor
 	inH, inW    int
 	outH, outW  int
 }
+
+// convShardFlops is the minimum per-forward multiply count above which
+// the batch loop shards samples across goroutines. Each sample's
+// lowering and GEMM are fully independent, so sharding is bit-identical
+// to the serial loop.
+const convShardFlops = 1 << 16
 
 // NewConv2D creates a 3×3-style convolution layer. He initialization
 // is applied with fan-in inC·kh·kw.
@@ -51,18 +58,44 @@ func (c *Conv2D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 	c.outW = tensor.ConvOutSize(w, c.KW, c.Stride, c.Pad)
 	outArea := c.outH * c.outW
 	colRows := c.InC * c.KH * c.KW
-	if len(c.colBuf) < colRows*outArea {
-		c.colBuf = make([]float32, colRows*outArea)
-	}
 	out := tensor.New(n, c.OutC, c.outH, c.outW)
 	inStride := c.InC * h * w
 	outStride := c.OutC * outArea
-	for i := 0; i < n; i++ {
+	oneSample := func(i int, buf []float32) {
 		src := x.Data()[i*inStride : (i+1)*inStride]
-		tensor.Im2Col(src, c.InC, h, w, c.KH, c.KW, c.Stride, c.Pad, c.colBuf)
-		col := tensor.FromSlice(c.colBuf[:colRows*outArea], colRows, outArea)
+		tensor.Im2Col(src, c.InC, h, w, c.KH, c.KW, c.Stride, c.Pad, buf)
+		col := tensor.FromSlice(buf[:colRows*outArea], colRows, outArea)
 		dst := tensor.FromSlice(out.Data()[i*outStride:(i+1)*outStride], c.OutC, outArea)
 		tensor.MatMulInto(dst, c.Weight.W, col)
+	}
+	if workers := tensor.Workers(); n >= 2 && workers > 1 && n*colRows*outArea*c.OutC >= convShardFlops {
+		// Shard the batch: every shard gets its own im2col scratch so
+		// samples never share mutable state. Results are bit-identical
+		// to the serial loop because samples are independent.
+		shards := workers
+		if shards > n {
+			shards = n
+		}
+		for len(c.colBufs) < shards {
+			c.colBufs = append(c.colBufs, nil)
+		}
+		for s := 0; s < shards; s++ {
+			if len(c.colBufs[s]) < colRows*outArea {
+				c.colBufs[s] = make([]float32, colRows*outArea)
+			}
+		}
+		tensor.ParallelForN(workers, n, func(shard, lo, hi int) {
+			for i := lo; i < hi; i++ {
+				oneSample(i, c.colBufs[shard])
+			}
+		})
+	} else {
+		if len(c.colBuf) < colRows*outArea {
+			c.colBuf = make([]float32, colRows*outArea)
+		}
+		for i := 0; i < n; i++ {
+			oneSample(i, c.colBuf)
+		}
 	}
 	if c.Bias != nil {
 		bd := c.Bias.W.Data()
@@ -103,6 +136,9 @@ func (c *Conv2D) Backward(dOut *tensor.Tensor) *tensor.Tensor {
 	}
 	if c.dColBuf == nil || c.dColBuf.Len() != colRows*outArea {
 		c.dColBuf = tensor.New(colRows, outArea)
+	}
+	if len(c.colBuf) < colRows*outArea { // parallel Forward leaves this unsized
+		c.colBuf = make([]float32, colRows*outArea)
 	}
 	dX := tensor.New(x.Shape()...)
 	for i := 0; i < n; i++ {

@@ -82,6 +82,12 @@ type Layer interface {
 	Backward(dOut *tensor.Tensor) *tensor.Tensor
 	// Params returns the layer's learnable parameters (possibly empty).
 	Params() []*Param
+	// CloneLayer returns a deep copy of the layer: parameters, masks
+	// and inference state (e.g. batch-norm running statistics) are
+	// copied; transient forward/backward caches are not. Clones share
+	// no mutable state with the original, so they may be used
+	// concurrently from different goroutines.
+	CloneLayer() Layer
 }
 
 // Sequential chains layers.

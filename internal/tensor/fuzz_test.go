@@ -1,0 +1,105 @@
+package tensor
+
+import (
+	"bytes"
+	"math"
+	"testing"
+)
+
+// fuzz seed corpus: serialized forms of a few representative tensors.
+func serialized(t *Tensor) []byte {
+	var buf bytes.Buffer
+	if _, err := t.WriteTo(&buf); err != nil {
+		panic(err)
+	}
+	return buf.Bytes()
+}
+
+// bitsEqual compares tensors at the bit level, so NaN payloads (which
+// arbitrary fuzz bytes can produce) still round-trip meaningfully.
+func bitsEqual(a, b *Tensor) bool {
+	if !a.SameShape(b) {
+		return false
+	}
+	ad, bd := a.Data(), b.Data()
+	for i := range ad {
+		if math.Float32bits(ad[i]) != math.Float32bits(bd[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// FuzzTensorReadFrom feeds arbitrary bytes to the binary decoder: it
+// must never panic, and anything it accepts must re-serialize to a
+// stable, re-decodable form.
+func FuzzTensorReadFrom(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte("FTT1junk"))
+	f.Add(serialized(New()))
+	f.Add(serialized(Full(1.5, 3, 4)))
+	r := NewRNG(1)
+	big := New(5, 2, 3)
+	FillNormal(big, r, 0, 2)
+	f.Add(serialized(big))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var got Tensor
+		if _, err := got.ReadFrom(bytes.NewReader(data)); err != nil {
+			return // rejected input is fine; panics are not
+		}
+		b1 := serialized(&got)
+		var again Tensor
+		if _, err := again.ReadFrom(bytes.NewReader(b1)); err != nil {
+			t.Fatalf("re-decode of accepted tensor failed: %v", err)
+		}
+		if !bitsEqual(&got, &again) {
+			t.Fatal("write→read round-trip changed the tensor")
+		}
+		if b2 := serialized(&again); !bytes.Equal(b1, b2) {
+			t.Fatal("serialization is not stable")
+		}
+	})
+}
+
+// FuzzTensorWriteRead builds tensors from fuzzed shapes and payloads
+// and checks the binary round-trip preserves every bit, including the
+// gob path used by model snapshots.
+func FuzzTensorWriteRead(f *testing.F) {
+	f.Add(uint8(2), uint8(3), []byte{0, 1, 2, 3})
+	f.Add(uint8(0), uint8(0), []byte{})
+	f.Add(uint8(1), uint8(7), []byte{255, 255, 255, 255, 0x7f, 0xc0, 0, 0})
+
+	f.Fuzz(func(t *testing.T, d0, d1 uint8, payload []byte) {
+		m, n := int(d0%9), int(d1%9)
+		tt := New(m, n)
+		d := tt.Data()
+		for i := range d {
+			var bits uint32
+			for b := 0; b < 4; b++ {
+				if idx := i*4 + b; idx < len(payload) {
+					bits |= uint32(payload[idx]) << (8 * b)
+				}
+			}
+			d[i] = math.Float32frombits(bits)
+		}
+		var got Tensor
+		if _, err := got.ReadFrom(bytes.NewReader(serialized(tt))); err != nil {
+			t.Fatalf("round-trip decode failed: %v", err)
+		}
+		if !bitsEqual(tt, &got) {
+			t.Fatal("binary round-trip lost bits")
+		}
+		gb, err := tt.GobEncode()
+		if err != nil {
+			t.Fatalf("gob encode: %v", err)
+		}
+		var gobGot Tensor
+		if err := gobGot.GobDecode(gb); err != nil {
+			t.Fatalf("gob decode: %v", err)
+		}
+		if !bitsEqual(tt, &gobGot) {
+			t.Fatal("gob round-trip lost bits")
+		}
+	})
+}

@@ -9,10 +9,17 @@ func MatMul(a, b *Tensor) *Tensor {
 	return out
 }
 
+// matMulShardFlops is the minimum m·k·n product above which the GEMM
+// kernels shard output rows across goroutines; below it the goroutine
+// fan-out costs more than it saves. Sharding never changes results:
+// each output row is computed by the same serial kernel either way.
+const matMulShardFlops = 1 << 16
+
 // MatMulInto computes out = A·B, reusing out's storage. out must be
 // m×n, A m×k, B k×n. The kernel is an ikj loop with 4-wide manual
-// unrolling over the inner dimension, which is the sweet spot for the
-// pure-Go single-core regime this library targets.
+// unrolling over the inner dimension; above matMulShardFlops the output
+// rows are sharded across Workers() goroutines, which is bit-identical
+// to the serial path because rows are independent.
 func MatMulInto(out, a, b *Tensor) {
 	if len(a.shape) != 2 || len(b.shape) != 2 || len(out.shape) != 2 {
 		panic("tensor: MatMul requires rank-2 tensors")
@@ -22,8 +29,20 @@ func MatMulInto(out, a, b *Tensor) {
 	if k != k2 || out.shape[0] != m || out.shape[1] != n {
 		panic(fmt.Sprintf("tensor: MatMul shape mismatch %v · %v -> %v", a.shape, b.shape, out.shape))
 	}
-	ad, bd, od := a.data, b.data, out.data
-	for i := 0; i < m; i++ {
+	if m >= 2 && m*k*n >= matMulShardFlops && Workers() > 1 {
+		ParallelFor(m, func(_, lo, hi int) {
+			matMulRows(out.data, a.data, b.data, k, n, lo, hi)
+		})
+		return
+	}
+	matMulRows(out.data, a.data, b.data, k, n, 0, m)
+}
+
+// matMulRows is the serial reference GEMM kernel over output rows
+// [lo, hi). The parallel dispatcher calls it once per shard; the serial
+// path calls it once over all rows.
+func matMulRows(od, ad, bd []float32, k, n, lo, hi int) {
+	for i := lo; i < hi; i++ {
 		orow := od[i*n : (i+1)*n]
 		for x := range orow {
 			orow[x] = 0
@@ -102,14 +121,27 @@ func MatMulTB(a, b *Tensor) *Tensor {
 }
 
 // MatMulTBInto computes out = A·Bᵀ into out (m×n), A (m×k), B (n×k).
+// Output rows are sharded across Workers() goroutines above
+// matMulShardFlops, bit-identically to the serial kernel.
 func MatMulTBInto(out, a, b *Tensor) {
 	m, k := a.shape[0], a.shape[1]
 	n, k2 := b.shape[0], b.shape[1]
 	if k != k2 || out.shape[0] != m || out.shape[1] != n {
 		panic(fmt.Sprintf("tensor: MatMulTB shape mismatch %v · %v ᵀ-> %v", a.shape, b.shape, out.shape))
 	}
-	ad, bd, od := a.data, b.data, out.data
-	for i := 0; i < m; i++ {
+	if m >= 2 && m*k*n >= matMulShardFlops && Workers() > 1 {
+		ParallelFor(m, func(_, lo, hi int) {
+			matMulTBRows(out.data, a.data, b.data, k, n, lo, hi)
+		})
+		return
+	}
+	matMulTBRows(out.data, a.data, b.data, k, n, 0, m)
+}
+
+// matMulTBRows is the serial reference A·Bᵀ kernel over output rows
+// [lo, hi).
+func matMulTBRows(od, ad, bd []float32, k, n, lo, hi int) {
+	for i := lo; i < hi; i++ {
 		arow := ad[i*k : (i+1)*k]
 		orow := od[i*n : (i+1)*n]
 		for j := 0; j < n; j++ {

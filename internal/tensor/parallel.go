@@ -1,0 +1,77 @@
+package tensor
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// The kernels in this package shard by output rows above a size
+// threshold. Sharding is bit-deterministic: every output element is
+// produced by exactly one goroutine running the same serial reference
+// kernel over its row range, so the floating-point accumulation order
+// per element is identical at any worker count.
+
+// workerCount holds the configured kernel worker budget. 0 means "use
+// runtime.NumCPU()". Accessed atomically so tests and the CLI can
+// adjust it while kernels run on other goroutines.
+var workerCount atomic.Int64
+
+// SetWorkers sets the maximum number of goroutines the sharded kernels
+// may use. n <= 0 restores the default (runtime.NumCPU()); n == 1
+// forces the serial reference path everywhere. The previous setting is
+// returned so callers can restore it.
+func SetWorkers(n int) int {
+	if n < 0 {
+		n = 0
+	}
+	return int(workerCount.Swap(int64(n)))
+}
+
+// Workers reports the effective kernel worker budget.
+func Workers() int {
+	if n := int(workerCount.Load()); n > 0 {
+		return n
+	}
+	return runtime.NumCPU()
+}
+
+// ParallelFor splits [0, n) into at most Workers() contiguous chunks
+// and runs body concurrently on each, blocking until all complete.
+// See ParallelForN for the contract.
+func ParallelFor(n int, body func(shard, lo, hi int)) {
+	ParallelForN(Workers(), n, body)
+}
+
+// ParallelForN splits [0, n) into at most w contiguous chunks and runs
+// body(shard, lo, hi) on each, blocking until every chunk is done.
+// Shard indices are dense, start at 0, and stay below min(w, n), so a
+// caller can preallocate min(w, n) scratch buffers and index them by
+// shard without locking. With w <= 1 (or n <= 1) body runs once on the
+// calling goroutine — the serial path spawns nothing.
+func ParallelForN(w, n int, body func(shard, lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	if w > n {
+		w = n
+	}
+	if w <= 1 {
+		body(0, 0, n)
+		return
+	}
+	chunk := (n + w - 1) / w
+	var wg sync.WaitGroup
+	for shard, lo := 0, 0; lo < n; shard, lo = shard+1, lo+chunk {
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		wg.Add(1)
+		go func(shard, lo, hi int) {
+			defer wg.Done()
+			body(shard, lo, hi)
+		}(shard, lo, hi)
+	}
+	wg.Wait()
+}

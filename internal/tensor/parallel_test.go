@@ -1,0 +1,133 @@
+package tensor
+
+import (
+	"sync"
+	"testing"
+)
+
+// withWorkers runs fn under a forced worker count, restoring the
+// previous setting afterwards.
+func withWorkers(n int, fn func()) {
+	old := SetWorkers(n)
+	defer SetWorkers(old)
+	fn()
+}
+
+// matmulShapes is the equivalence-test shape grid. It deliberately
+// includes every tail path of the unrolled kernels: k < 4 (the 4-wide
+// unroll never fires), m = 1 (no sharding possible), n = 1, and
+// m values that are not multiples of any plausible shard count.
+var matmulShapes = []struct{ m, k, n int }{
+	{1, 1, 1},
+	{1, 3, 7},   // m = 1: sharding must degrade to serial
+	{2, 1, 5},   // k = 1: pure tail loop
+	{3, 2, 4},   // k = 2
+	{5, 3, 9},   // k = 3: last sub-unroll tail
+	{4, 4, 4},   // exact unroll boundary
+	{7, 5, 3},   // k = 4+1 tail
+	{8, 17, 8},  // odd k above unroll
+	{13, 31, 29}, // primes: never a multiple of the shard count
+	{16, 64, 64},
+	{33, 37, 41}, // above matMulShardFlops with awkward row count
+	{64, 48, 70},
+	{128, 19, 33},
+}
+
+func randPair(seed uint64, m, k, n int) (*Tensor, *Tensor) {
+	r := NewRNG(seed)
+	a, b := New(m, k), New(k, n)
+	FillNormal(a, r, 0, 1)
+	FillNormal(b, r, 0, 1)
+	// Sprinkle exact zeros so the kernels' skip-zero fast paths fire.
+	for i := 0; i < a.Len(); i += 5 {
+		a.Data()[i] = 0
+	}
+	return a, b
+}
+
+// TestMatMulParallelEquivalence checks that the sharded MatMulInto is
+// bit-identical to the serial reference at several worker counts,
+// across shapes that exercise every kernel tail path.
+func TestMatMulParallelEquivalence(t *testing.T) {
+	for _, sh := range matmulShapes {
+		a, b := randPair(uint64(sh.m*1000+sh.k*10+sh.n), sh.m, sh.k, sh.n)
+		want := New(sh.m, sh.n)
+		withWorkers(1, func() { MatMulInto(want, a, b) })
+		for _, w := range []int{2, 3, 8, 64} {
+			got := Full(999, sh.m, sh.n) // poison: every element must be overwritten
+			withWorkers(w, func() { MatMulInto(got, a, b) })
+			if !got.Equal(want) {
+				t.Fatalf("MatMul %dx%dx%d differs at workers=%d", sh.m, sh.k, sh.n, w)
+			}
+		}
+	}
+}
+
+// TestMatMulTBParallelEquivalence does the same for A·Bᵀ.
+func TestMatMulTBParallelEquivalence(t *testing.T) {
+	for _, sh := range matmulShapes {
+		r := NewRNG(uint64(sh.m + sh.k + sh.n))
+		a, bT := New(sh.m, sh.k), New(sh.n, sh.k)
+		FillNormal(a, r, 0, 1)
+		FillNormal(bT, r, 0, 1)
+		want := New(sh.m, sh.n)
+		withWorkers(1, func() { MatMulTBInto(want, a, bT) })
+		for _, w := range []int{2, 3, 8, 64} {
+			got := Full(999, sh.m, sh.n)
+			withWorkers(w, func() { MatMulTBInto(got, a, bT) })
+			if !got.Equal(want) {
+				t.Fatalf("MatMulTB %dx%dx%d differs at workers=%d", sh.m, sh.k, sh.n, w)
+			}
+		}
+	}
+}
+
+// TestParallelForNCoverage checks the chunking contract: every index
+// covered exactly once, shard indices dense and below min(w, n).
+func TestParallelForNCoverage(t *testing.T) {
+	for _, tc := range []struct{ w, n int }{
+		{1, 1}, {1, 10}, {4, 10}, {10, 4}, {3, 7}, {8, 8}, {16, 1}, {5, 0}, {7, 100},
+	} {
+		var mu sync.Mutex
+		seen := make([]int, tc.n)
+		maxShard := -1
+		ParallelForN(tc.w, tc.n, func(shard, lo, hi int) {
+			mu.Lock()
+			defer mu.Unlock()
+			if shard > maxShard {
+				maxShard = shard
+			}
+			for i := lo; i < hi; i++ {
+				seen[i]++
+			}
+		})
+		for i, c := range seen {
+			if c != 1 {
+				t.Fatalf("w=%d n=%d: index %d visited %d times", tc.w, tc.n, i, c)
+			}
+		}
+		limit := tc.w
+		if tc.n < limit {
+			limit = tc.n
+		}
+		if tc.n > 0 && maxShard >= limit {
+			t.Fatalf("w=%d n=%d: shard index %d >= min(w,n)=%d", tc.w, tc.n, maxShard, limit)
+		}
+	}
+}
+
+// TestSetWorkersContract pins the knob semantics: <=0 restores the
+// core-count default, and the previous value round-trips.
+func TestSetWorkersContract(t *testing.T) {
+	old := SetWorkers(3)
+	defer SetWorkers(old)
+	if got := Workers(); got != 3 {
+		t.Fatalf("Workers() = %d after SetWorkers(3)", got)
+	}
+	if prev := SetWorkers(0); prev != 3 {
+		t.Fatalf("SetWorkers returned %d, want 3", prev)
+	}
+	if got := Workers(); got < 1 {
+		t.Fatalf("default Workers() = %d, want >= 1", got)
+	}
+}
