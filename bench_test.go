@@ -21,6 +21,15 @@ import (
 	"github.com/ftpim/ftpim/internal/tensor"
 )
 
+// mustB unwraps (value, error) in benchmark setup/loops; with a
+// background context the core API only errors on cancellation.
+func mustB[T any](v T, err error) T {
+	if err != nil {
+		panic(err)
+	}
+	return v
+}
+
 // benchEnv builds a quick-preset environment with all models pre-
 // trained outside the timed region, so the benchmark measures the
 // experiment's evaluation protocol (the part that scales with runs ×
@@ -34,10 +43,10 @@ func benchEnv(b *testing.B, warm func(e *experiments.Env)) *experiments.Env {
 }
 
 func warmTable1(e *experiments.Env, ds string) {
-	e.Pretrained(ds)
+	mustB(e.Pretrained(bg, ds))
 	for _, r := range e.Scale.TrainRates {
-		e.OneShot(ds, r)
-		e.Progressive(ds, r)
+		mustB(e.OneShot(bg, ds, r))
+		mustB(e.Progressive(bg, ds, r))
 	}
 }
 
@@ -46,7 +55,7 @@ func warmTable1(e *experiments.Env, ds string) {
 func BenchmarkTable1CIFAR10(b *testing.B) {
 	e := benchEnv(b, func(e *experiments.Env) { warmTable1(e, "c10") })
 	for i := 0; i < b.N; i++ {
-		res := experiments.Table1(e, "c10")
+		res := mustB(experiments.Table1(bg, e, "c10"))
 		if len(res.Rows) == 0 {
 			b.Fatal("empty table")
 		}
@@ -57,7 +66,7 @@ func BenchmarkTable1CIFAR10(b *testing.B) {
 func BenchmarkTable1CIFAR100(b *testing.B) {
 	e := benchEnv(b, func(e *experiments.Env) { warmTable1(e, "c100") })
 	for i := 0; i < b.N; i++ {
-		res := experiments.Table1(e, "c100")
+		res := mustB(experiments.Table1(bg, e, "c100"))
 		if len(res.Rows) == 0 {
 			b.Fatal("empty table")
 		}
@@ -70,17 +79,17 @@ func BenchmarkTable1CIFAR100(b *testing.B) {
 func BenchmarkTable2StabilityScore(b *testing.B) {
 	e := benchEnv(b, func(e *experiments.Env) {
 		sp := e.Scale.Sparsities[len(e.Scale.Sparsities)-1]
-		e.Pretrained("c100")
-		e.PrunedADMM("c100", sp)
+		mustB(e.Pretrained(bg, "c100"))
+		mustB(e.PrunedADMM(bg, "c100", sp))
 		for _, r := range []float64{0.01, 0.05, 0.1} {
-			e.OneShot("c100", r)
-			e.Progressive("c100", r)
-			e.PrunedFT("c100", sp, r, false)
-			e.PrunedFT("c100", sp, r, true)
+			mustB(e.OneShot(bg, "c100", r))
+			mustB(e.Progressive(bg, "c100", r))
+			mustB(e.PrunedFT(bg, "c100", sp, r, false))
+			mustB(e.PrunedFT(bg, "c100", sp, r, true))
 		}
 	})
 	for i := 0; i < b.N; i++ {
-		res := experiments.Table2(e)
+		res := mustB(experiments.Table2(bg, e))
 		if len(res.Sections) != 2 {
 			b.Fatal("bad table2")
 		}
@@ -92,16 +101,16 @@ func BenchmarkTable2StabilityScore(b *testing.B) {
 func BenchmarkFigure2PrunedFragility(b *testing.B) {
 	e := benchEnv(b, func(e *experiments.Env) {
 		for _, ds := range []string{"c10", "c100"} {
-			e.Pretrained(ds)
+			mustB(e.Pretrained(bg, ds))
 			for _, sp := range e.Scale.Sparsities {
-				e.PrunedMagnitude(ds, sp)
-				e.PrunedADMM(ds, sp)
+				mustB(e.PrunedMagnitude(bg, ds, sp))
+				mustB(e.PrunedADMM(bg, ds, sp))
 			}
 		}
 	})
 	for i := 0; i < b.N; i++ {
 		for _, ds := range []string{"c10", "c100"} {
-			if res := experiments.Figure2(e, ds); len(res.Series) == 0 {
+			if res := mustB(experiments.Figure2(bg, e, ds)); len(res.Series) == 0 {
 				b.Fatal("empty figure")
 			}
 		}
@@ -110,11 +119,11 @@ func BenchmarkFigure2PrunedFragility(b *testing.B) {
 
 // BenchmarkAblationLadder runs the A1 progressive-ladder-depth study.
 func BenchmarkAblationLadder(b *testing.B) {
-	e := benchEnv(b, func(e *experiments.Env) { e.Pretrained("c10") })
+	e := benchEnv(b, func(e *experiments.Env) { mustB(e.Pretrained(bg, "c10")) })
 	for i := 0; i < b.N; i++ {
 		// Use a fresh env per iteration is wrong (training cached);
 		// the cached path measures the evaluation protocol.
-		rows := experiments.AblationLadder(e, "c10", 0.1, 2)
+		rows := mustB(experiments.AblationLadder(bg, e, "c10", 0.1, 2))
 		if len(rows) != 2 {
 			b.Fatal("bad ladder ablation")
 		}
@@ -123,9 +132,9 @@ func BenchmarkAblationLadder(b *testing.B) {
 
 // BenchmarkAblationResample runs the A2 per-epoch vs per-batch study.
 func BenchmarkAblationResample(b *testing.B) {
-	e := benchEnv(b, func(e *experiments.Env) { e.Pretrained("c10") })
+	e := benchEnv(b, func(e *experiments.Env) { mustB(e.Pretrained(bg, "c10")) })
 	for i := 0; i < b.N; i++ {
-		res := experiments.AblationResample(e, "c10", 0.1)
+		res := mustB(experiments.AblationResample(bg, e, "c10", 0.1))
 		if res.Rate != 0.1 {
 			b.Fatal("bad resample ablation")
 		}
@@ -135,10 +144,10 @@ func BenchmarkAblationResample(b *testing.B) {
 // BenchmarkAblationCrossbarVsWeight runs the A3 weight-level vs
 // circuit-level fault model validation.
 func BenchmarkAblationCrossbarVsWeight(b *testing.B) {
-	e := benchEnv(b, func(e *experiments.Env) { e.Pretrained("c10") })
+	e := benchEnv(b, func(e *experiments.Env) { mustB(e.Pretrained(bg, "c10")) })
 	opts := reram.MapOptions{TileRows: 32, TileCols: 32, Levels: 16, Gmin: 0.1, Gmax: 10}
 	for i := 0; i < b.N; i++ {
-		res := experiments.AblationCrossbar(e, "c10", 0.02, opts)
+		res := mustB(experiments.AblationCrossbar(bg, e, "c10", 0.02, opts))
 		if res.CleanAcc <= 0 {
 			b.Fatal("bad crossbar ablation")
 		}
@@ -184,9 +193,9 @@ func BenchmarkTrainEpoch(b *testing.B) {
 	net := models.BuildResNet(models.ResNet20(10).Scaled(0.25))
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		core.Train(net, train, core.Config{
+		mustB(core.Train(bg, net, train, core.Config{
 			Epochs: 1, Batch: 32, LR: 0.01, Momentum: 0.9, WeightDecay: 5e-4, Seed: uint64(i) + 1,
-		})
+		}))
 	}
 }
 
@@ -202,7 +211,7 @@ func BenchmarkDefectEval(b *testing.B) {
 	net := models.BuildResNet(models.ResNet20(10).Scaled(0.25))
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		core.EvalDefect(net, test, 0.01, core.DefectEval{Runs: 1, Batch: 128, Seed: uint64(i)})
+		mustB(core.EvalDefect(bg, net, test, 0.01, core.DefectEval{Runs: 1, Batch: 128, Seed: uint64(i)}))
 	}
 }
 
@@ -239,7 +248,7 @@ func BenchmarkEvalDefectParallel(b *testing.B) {
 		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
 			cfg := core.DefectEval{Runs: 8, Batch: 64, Seed: 1, Workers: w}
 			for i := 0; i < b.N; i++ {
-				core.EvalDefect(net, test, 0.02, cfg)
+				mustB(core.EvalDefect(bg, net, test, 0.02, cfg))
 			}
 		})
 	}
@@ -259,7 +268,7 @@ func BenchmarkEvalDefectSweepParallel(b *testing.B) {
 		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
 			cfg := core.DefectEval{Runs: s.DefectRuns, Batch: 64, Seed: 1, Workers: w}
 			for i := 0; i < b.N; i++ {
-				core.EvalDefectSweep(net, test, s.TestRates, cfg)
+				mustB(core.EvalDefectSweep(bg, net, test, s.TestRates, cfg))
 			}
 		})
 	}

@@ -18,29 +18,50 @@
 // the large tensor kernels over N goroutines (default: all cores).
 // Results are bit-identical at every worker count; -workers 1 is the
 // exact legacy serial path.
+//
+// -events FILE streams every run event as schema-versioned JSON Lines
+// (one object per line, schema "ftpim.events/v1") alongside the human
+// progress output on stderr.
+//
+// Ctrl-C (SIGINT) cancels the run at the next batch or Monte-Carlo run
+// boundary: partially trained models are not cached, the model cache is
+// never left with a truncated entry, and the process exits with status
+// 130.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"runtime"
 	"strings"
+	"syscall"
 
 	"github.com/ftpim/ftpim/internal/core"
 	"github.com/ftpim/ftpim/internal/experiments"
 	"github.com/ftpim/ftpim/internal/fault"
+	"github.com/ftpim/ftpim/internal/obs"
 	"github.com/ftpim/ftpim/internal/report"
 	"github.com/ftpim/ftpim/internal/reram"
 	"github.com/ftpim/ftpim/internal/tensor"
 )
 
 func main() {
+	os.Exit(run())
+}
+
+// run is main's body with an explicit exit code so deferred cleanup
+// (the -events file, signal teardown) executes before the process
+// exits: 0 success, 1 error, 2 usage, 130 interrupted (128 + SIGINT).
+func run() int {
 	if len(os.Args) < 2 {
 		usage()
-		os.Exit(2)
+		return 2
 	}
 	cmd, args := os.Args[1], os.Args[2:]
 	verb := ""
@@ -57,18 +78,37 @@ func main() {
 	profile := fs.String("profile", "device.profile", "device: profile file path")
 	outDir := fs.String("out", "results", "output directory for 'all'")
 	verbose := fs.Bool("v", true, "log training progress")
+	events := fs.String("events", "", "write schema-versioned JSONL run events to FILE")
 	workers := fs.Int("workers", runtime.NumCPU(),
 		"worker goroutines for defect evaluation and sharded kernels (1 = serial legacy path; results are identical at any count)")
 
 	if err := fs.Parse(args); err != nil {
-		os.Exit(2)
+		return 2
 	}
-	logf := func(string, ...any) {}
+
+	var sinks []obs.Sink
 	if *verbose {
-		logf = func(format string, a ...any) { fmt.Fprintf(os.Stderr, format+"\n", a...) }
+		sinks = append(sinks, obs.NewProgress(os.Stderr))
 	}
+	if *events != "" {
+		f, err := os.Create(*events)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "ftpim: create %s: %v\n", *events, err)
+			return 1
+		}
+		defer f.Close()
+		sinks = append(sinks, obs.NewJSONL(f))
+	}
+	sink := obs.Multi(sinks...)
+
+	// SIGINT/SIGTERM cancel the context; every training batch and
+	// Monte-Carlo run checks it, so interruption lands on a clean
+	// boundary. A second signal kills the process the default way.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
 	tensor.SetWorkers(*workers)
-	env := experiments.NewEnv(*preset, *cache, logf)
+	env := experiments.NewEnv(*preset, *cache, sink)
 	env.Scale.Workers = *workers
 
 	datasets := []string{"c10", "c100"}
@@ -79,18 +119,29 @@ func main() {
 		datasets = []string{"c100"}
 	case "both":
 	default:
-		fatalf("unknown dataset %q", *dataset)
+		return fail("unknown dataset %q", *dataset)
 	}
+	var err error
 	switch cmd {
 	case "table1":
 		for _, ds := range datasets {
-			emitTable(os.Stdout, experiments.Table1(env, ds).Table(), *csv)
+			var res *experiments.Table1Result
+			if res, err = experiments.Table1(ctx, env, ds); err != nil {
+				break
+			}
+			emitTable(os.Stdout, res.Table(), *csv)
 		}
 	case "table2":
-		emitTable(os.Stdout, experiments.Table2(env).Table(), *csv)
+		var res *experiments.Table2Result
+		if res, err = experiments.Table2(ctx, env); err == nil {
+			emitTable(os.Stdout, res.Table(), *csv)
+		}
 	case "fig2":
 		for _, ds := range datasets {
-			res := experiments.Figure2(env, ds)
+			var res *experiments.Figure2Result
+			if res, err = experiments.Figure2(ctx, env, ds); err != nil {
+				break
+			}
 			if *csv {
 				fmt.Print(res.CSV())
 			} else {
@@ -98,16 +149,25 @@ func main() {
 			}
 		}
 	case "ablation":
-		runAblation(env, *which)
+		err = runAblation(ctx, env, *which)
 	case "device":
-		runDevice(env, verb, *dataset, *psa, *profile)
+		err = runDevice(ctx, env, verb, *dataset, *psa, *profile)
 	case "all":
-		runAll(env, *outDir)
+		err = runAll(ctx, env, *outDir)
 	case "help", "-h", "--help":
 		usage()
+		return 0
 	default:
-		fatalf("unknown command %q", cmd)
+		return fail("unknown command %q", cmd)
 	}
+	if err != nil {
+		if errors.Is(err, context.Canceled) {
+			fmt.Fprintln(os.Stderr, "ftpim: interrupted")
+			return 130
+		}
+		return fail("%v", err)
+	}
+	return 0
 }
 
 func emitTable(w io.Writer, t *report.Table, csv bool) {
@@ -119,20 +179,29 @@ func emitTable(w io.Writer, t *report.Table, csv bool) {
 	}
 }
 
-func runAblation(env *experiments.Env, which string) {
+func runAblation(ctx context.Context, env *experiments.Env, which string) error {
 	switch which {
 	case "ladder":
-		rows := experiments.AblationLadder(env, "c10", 0.1, 4)
+		rows, err := experiments.AblationLadder(ctx, env, "c10", 0.1, 4)
+		if err != nil {
+			return err
+		}
 		experiments.LadderTable(rows, 0.1).Render(os.Stdout)
 	case "resample":
-		res := experiments.AblationResample(env, "c10", 0.1)
+		res, err := experiments.AblationResample(ctx, env, "c10", 0.1)
+		if err != nil {
+			return err
+		}
 		t := report.NewTable("A2: fault resampling granularity at Psa^T=0.1",
 			"variant", "clean acc %", "defect acc % @0.1")
 		t.AddRow("per-epoch", f2(res.PerEpochCleanAcc), f2(res.PerEpochDefectAcc))
 		t.AddRow("per-batch", f2(res.PerBatchCleanAcc), f2(res.PerBatchDefectAcc))
 		t.Render(os.Stdout)
 	case "crossbar":
-		res := experiments.AblationCrossbar(env, "c10", 0.01, reram.DefaultMapOptions())
+		res, err := experiments.AblationCrossbar(ctx, env, "c10", 0.01, reram.DefaultMapOptions())
+		if err != nil {
+			return err
+		}
 		t := report.NewTable("A3: weight-level fault model vs circuit-level crossbar (Psa=0.01)",
 			"measurement", "accuracy %")
 		t.AddRow("digital weights (clean)", f2(res.CleanAcc))
@@ -141,22 +210,26 @@ func runAblation(env *experiments.Env, which string) {
 		t.AddRow("circuit-level per-cell fault maps", f2(res.CircuitAcc))
 		t.Render(os.Stdout)
 	default:
-		fatalf("unknown ablation %q", which)
+		return fmt.Errorf("unknown ablation %q", which)
 	}
+	return nil
 }
 
 // runDevice implements the per-device fleet workflow: draw a defect
 // profile for one manufactured unit (as a march-test station would),
 // archive it, and evaluate or fault-aware-retrain the golden model
 // against it.
-func runDevice(env *experiments.Env, verb, dataset string, psa float64, profile string) {
+func runDevice(ctx context.Context, env *experiments.Env, verb, dataset string, psa float64, profile string) error {
 	if dataset == "both" {
 		dataset = "c10"
 	}
 	if verb == "" {
-		fatalf("device needs a verb: draw | eval | retrain")
+		return errors.New("device needs a verb: draw | eval | retrain")
 	}
-	net := env.Pretrained(dataset)
+	net, err := env.Pretrained(ctx, dataset)
+	if err != nil {
+		return err
+	}
 	_, test := env.Dataset(dataset)
 	weights := core.WeightTensors(net)
 	switch verb {
@@ -165,22 +238,22 @@ func runDevice(env *experiments.Env, verb, dataset string, psa float64, profile 
 		dm := fault.DrawDeviceMap(rng, fault.ChenModel(), weights, psa)
 		f, err := os.Create(profile)
 		if err != nil {
-			fatalf("create %s: %v", profile, err)
+			return fmt.Errorf("create %s: %v", profile, err)
 		}
 		defer f.Close()
 		if err := dm.Save(f); err != nil {
-			fatalf("save profile: %v", err)
+			return fmt.Errorf("save profile: %v", err)
 		}
 		fmt.Printf("drew device profile: %d stuck cells at Psa=%g -> %s\n", dm.NumFaults(), psa, profile)
 	case "eval", "retrain":
 		f, err := os.Open(profile)
 		if err != nil {
-			fatalf("open %s: %v (run 'ftpim device draw' first)", profile, err)
+			return fmt.Errorf("open %s: %v (run 'ftpim device draw' first)", profile, err)
 		}
 		dm, err := fault.LoadDeviceMap(f)
 		f.Close()
 		if err != nil {
-			fatalf("load profile: %v", err)
+			return fmt.Errorf("load profile: %v", err)
 		}
 		acc := core.EvalOnDevice(net, test, dm, 128)
 		fmt.Printf("golden model on this device: %.2f%%\n", acc*100)
@@ -190,69 +263,109 @@ func runDevice(env *experiments.Env, verb, dataset string, psa float64, profile 
 				Epochs: env.Scale.FTEpochs, Batch: env.Scale.Batch,
 				LR: env.Scale.FTLR, Momentum: env.Scale.Momentum,
 				WeightDecay: env.Scale.WeightDecay, Aug: env.Scale.Aug,
-				Seed: env.Scale.Seed + 97,
+				Seed: env.Scale.Seed + 97, Sink: env.Sink,
 			}
-			copyNet := env.Pretrained(dataset) // retrain a copy via snapshot
+			copyNet, err := env.Pretrained(ctx, dataset) // retrain a copy via snapshot
+			if err != nil {
+				return err
+			}
 			snap := copyNet.Snapshot()
-			core.FaultAwareRetrain(copyNet, train, cfg, dm)
+			if _, err := core.FaultAwareRetrain(ctx, copyNet, train, cfg, dm); err != nil {
+				if rerr := copyNet.Restore(snap); rerr != nil {
+					return fmt.Errorf("restore golden model: %v", rerr)
+				}
+				return err
+			}
 			after := core.EvalOnDevice(copyNet, test, dm, 128)
 			if err := copyNet.Restore(snap); err != nil {
-				fatalf("restore golden model: %v", err)
+				return fmt.Errorf("restore golden model: %v", err)
 			}
 			fmt.Printf("after fault-aware retraining [5]:  %.2f%%\n", after*100)
 		}
 	default:
-		fatalf("unknown device verb %q", verb)
+		return fmt.Errorf("unknown device verb %q", verb)
 	}
+	return nil
 }
 
-func runAll(env *experiments.Env, outDir string) {
+func runAll(ctx context.Context, env *experiments.Env, outDir string) error {
 	if err := os.MkdirAll(outDir, 0o755); err != nil {
-		fatalf("mkdir %s: %v", outDir, err)
+		return fmt.Errorf("mkdir %s: %v", outDir, err)
 	}
-	write := func(name, content string) {
+	write := func(name, content string) error {
 		path := filepath.Join(outDir, name)
 		if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
-			fatalf("write %s: %v", path, err)
+			return fmt.Errorf("write %s: %v", path, err)
 		}
 		fmt.Printf("wrote %s\n", path)
+		return nil
 	}
 	for _, ds := range []string{"c10", "c100"} {
-		t1 := experiments.Table1(env, ds)
+		t1, err := experiments.Table1(ctx, env, ds)
+		if err != nil {
+			return err
+		}
 		var txt, csv strings.Builder
 		t1.Table().Render(&txt)
 		t1.Table().RenderCSV(&csv)
-		write("table1-"+ds+".txt", txt.String())
-		write("table1-"+ds+".csv", csv.String())
+		if err := write("table1-"+ds+".txt", txt.String()); err != nil {
+			return err
+		}
+		if err := write("table1-"+ds+".csv", csv.String()); err != nil {
+			return err
+		}
 
-		f2r := experiments.Figure2(env, ds)
-		write("figure2-"+ds+".csv", f2r.CSV())
-		write("figure2-"+ds+".txt", f2r.Plot())
+		f2r, err := experiments.Figure2(ctx, env, ds)
+		if err != nil {
+			return err
+		}
+		if err := write("figure2-"+ds+".csv", f2r.CSV()); err != nil {
+			return err
+		}
+		if err := write("figure2-"+ds+".txt", f2r.Plot()); err != nil {
+			return err
+		}
 	}
-	t2 := experiments.Table2(env)
+	t2, err := experiments.Table2(ctx, env)
+	if err != nil {
+		return err
+	}
 	var txt, csv strings.Builder
 	t2.Table().Render(&txt)
 	t2.Table().RenderCSV(&csv)
-	write("table2.txt", txt.String())
-	write("table2.csv", csv.String())
+	if err := write("table2.txt", txt.String()); err != nil {
+		return err
+	}
+	if err := write("table2.csv", csv.String()); err != nil {
+		return err
+	}
 
 	var ab strings.Builder
-	rows := experiments.AblationLadder(env, "c10", 0.1, 4)
+	rows, err := experiments.AblationLadder(ctx, env, "c10", 0.1, 4)
+	if err != nil {
+		return err
+	}
 	experiments.LadderTable(rows, 0.1).Render(&ab)
-	res := experiments.AblationResample(env, "c10", 0.1)
+	res, err := experiments.AblationResample(ctx, env, "c10", 0.1)
+	if err != nil {
+		return err
+	}
 	fmt.Fprintf(&ab, "\nA2: per-epoch clean %.2f%% defect %.2f%% | per-batch clean %.2f%% defect %.2f%%\n",
 		res.PerEpochCleanAcc, res.PerEpochDefectAcc, res.PerBatchCleanAcc, res.PerBatchDefectAcc)
-	cb := experiments.AblationCrossbar(env, "c10", 0.01, reram.DefaultMapOptions())
+	cb, err := experiments.AblationCrossbar(ctx, env, "c10", 0.01, reram.DefaultMapOptions())
+	if err != nil {
+		return err
+	}
 	fmt.Fprintf(&ab, "\nA3 @Psa=0.01: clean %.2f%% | quantized %.2f%% | weight-level %.2f%% | circuit %.2f%%\n",
 		cb.CleanAcc, cb.QuantizedAcc, cb.WeightLevelAcc, cb.CircuitAcc)
-	write("ablations.txt", ab.String())
+	return write("ablations.txt", ab.String())
 }
 
 func f2(v float64) string { return fmt.Sprintf("%.2f", v) }
 
-func fatalf(format string, a ...any) {
+func fail(format string, a ...any) int {
 	fmt.Fprintf(os.Stderr, "ftpim: "+format+"\n", a...)
-	os.Exit(1)
+	return 1
 }
 
 func usage() {
@@ -266,5 +379,9 @@ commands:
   device    per-device workflow: draw | eval | retrain (-psa, -profile)
   all       regenerate everything into -out DIR
 
-common flags: -preset smoke|quick|repro|paper   -cache DIR   -dataset c10|c100|both   -workers N`)
+common flags: -preset smoke|quick|repro|paper   -cache DIR   -dataset c10|c100|both
+              -workers N   -events FILE (JSONL run events)   -v=false (quiet)
+
+Ctrl-C cancels at the next batch / Monte-Carlo run boundary (exit 130);
+partially trained models are never cached.`)
 }

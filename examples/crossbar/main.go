@@ -13,6 +13,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 
 	"github.com/ftpim/ftpim/internal/core"
@@ -25,6 +26,7 @@ import (
 )
 
 func main() {
+	ctx := context.Background()
 	cfg := data.SynthConfig{
 		Classes: 8, TrainPer: 60, TestPer: 25,
 		Channels: 3, Size: 10, Basis: 16, CoefNoise: 0.18,
@@ -34,10 +36,10 @@ func main() {
 	net := models.BuildResNet(models.ResNetConfig{
 		Depth: 8, Classes: 8, InChannels: 3, WidthMult: 0.5, Seed: 42,
 	})
-	core.Train(net, train, core.Config{
+	must(core.Train(ctx, net, train, core.Config{
 		Epochs: 10, Batch: 32, LR: 0.08, Momentum: 0.9, WeightDecay: 5e-4,
 		Aug: data.Augment{Flip: true, ShiftMax: 1}, Seed: 1,
-	})
+	}))
 	clean := metrics.Evaluate(net, test, 128)
 	fmt.Printf("digital model accuracy:                    %6.2f%%\n", clean*100)
 
@@ -101,11 +103,20 @@ func main() {
 
 	// Compare with the weight-level abstraction at the same rate.
 	ev := core.DefectEval{Runs: 20, Batch: 128, Seed: 9}
-	wl := core.EvalDefect(net, test, psa, ev)
+	wl := must(core.EvalDefect(ctx, net, test, psa, ev))
 	fmt.Printf("weight-level fault model at Psa=%g:      %6.2f%% ± %.2f\n",
 		psa, wl.Mean*100, wl.CI95()*100)
 
 	fmt.Println("\nThe weight-level model tracks the circuit-level simulation,")
 	fmt.Println("which is why the paper (and this library's experiment harness)")
 	fmt.Println("can evaluate fault tolerance without simulating every cell.")
+}
+
+// must unwraps a (value, error) pair; with a background context the
+// core API only errors on cancellation, which cannot happen here.
+func must[T any](v T, err error) T {
+	if err != nil {
+		panic(err)
+	}
+	return v
 }

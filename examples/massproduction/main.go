@@ -11,6 +11,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 
 	"github.com/ftpim/ftpim/internal/core"
@@ -28,6 +29,7 @@ const (
 )
 
 func main() {
+	ctx := context.Background()
 	cfg := data.SynthConfig{
 		Classes: 8, TrainPer: 60, TestPer: 25,
 		Channels: 3, Size: 10, Basis: 16, CoefNoise: 0.18,
@@ -48,7 +50,7 @@ func main() {
 
 	// One pretrained "golden" model.
 	golden := build()
-	core.Train(golden, train, trainCfg)
+	must(core.Train(ctx, golden, train, trainCfg))
 	fmt.Printf("golden model clean accuracy: %.2f%%\n", core.EvalClean(golden, test, 128)*100)
 
 	// One FT model, trained once for the whole fleet.
@@ -57,7 +59,7 @@ func main() {
 	ftCfg := trainCfg
 	ftCfg.LR = 0.03
 	ftCfg.Epochs = 20
-	core.OneShotFT(ft, train, ftCfg, 0.1)
+	must(core.OneShotFT(ctx, ft, train, ftCfg, 0.1))
 	fmt.Printf("FT model clean accuracy:     %.2f%%\n\n", core.EvalClean(ft, test, 128)*100)
 
 	// The fleet: every device gets its own fixed defect map.
@@ -77,7 +79,7 @@ func main() {
 		devCfg := trainCfg
 		devCfg.LR = 0.04
 		devCfg.Epochs = 6
-		core.FaultAwareRetrain(dev, train, devCfg, dm)
+		must(core.FaultAwareRetrain(ctx, dev, train, devCfg, dm))
 		retrainEpochs += devCfg.Epochs
 		accDev = append(accDev, core.EvalOnDevice(dev, test, dm, 128)*100)
 	}
@@ -101,4 +103,13 @@ func mustRestore(dst, src *nn.Network) {
 	if err := dst.Restore(src.Snapshot()); err != nil {
 		panic(err)
 	}
+}
+
+// must unwraps a (value, error) pair; with a background context the
+// core API only errors on cancellation, which cannot happen here.
+func must[T any](v T, err error) T {
+	if err != nil {
+		panic(err)
+	}
+	return v
 }

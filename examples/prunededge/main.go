@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"os"
@@ -22,6 +23,7 @@ import (
 )
 
 func main() {
+	ctx := context.Background()
 	cfg := data.SynthConfig{
 		Classes: 8, TrainPer: 60, TestPer: 25,
 		Channels: 3, Size: 10, Basis: 16, CoefNoise: 0.28,
@@ -40,7 +42,7 @@ func main() {
 	}
 
 	dense := build()
-	core.Train(dense, train, trainCfg)
+	must(core.Train(ctx, dense, train, trainCfg))
 	accPre := core.EvalClean(dense, test, 128)
 	fmt.Printf("dense pretrained accuracy: %.2f%%\n", accPre*100)
 
@@ -55,12 +57,12 @@ func main() {
 	admmCfg.Epochs = 8
 	admmCfg.ADMM = admm
 	admmCfg.ADMMInterval = 2
-	core.Train(pruned, train, admmCfg)
+	must(core.Train(ctx, pruned, train, admmCfg))
 	admm.Finalize()
 	ftn := trainCfg
 	ftn.LR = 0.04
 	ftn.Epochs = 6
-	core.Train(pruned, train, ftn)
+	must(core.Train(ctx, pruned, train, ftn))
 	accPruned := core.EvalClean(pruned, test, 128)
 	fmt.Printf("ADMM-pruned (%.0f%% sparse) accuracy: %.2f%%\n\n", pruned.Sparsity()*100, accPruned*100)
 
@@ -72,7 +74,7 @@ func main() {
 	ftCfg := trainCfg
 	ftCfg.LR = 0.03
 	ftCfg.Epochs = 16
-	core.OneShotFT(prunedFT, train, ftCfg, 0.05)
+	must(core.OneShotFT(ctx, prunedFT, train, ftCfg, 0.05))
 
 	// Compare fragility.
 	ev := core.DefectEval{Runs: 20, Batch: 128, Seed: 5}
@@ -83,7 +85,7 @@ func main() {
 		clean := core.EvalClean(net, test, 128)
 		var ds []float64
 		for _, r := range rates {
-			ds = append(ds, core.EvalDefect(net, test, r, ev).Mean)
+			ds = append(ds, must(core.EvalDefect(ctx, net, test, r, ev)).Mean)
 		}
 		ss := metrics.StabilityScore(clean*100, base*100, ds[1]*100)
 		ssStr := fmt.Sprintf("%.2f", ss)
@@ -103,4 +105,13 @@ func main() {
 	fmt.Println("\nPruned models fall off the cliff earlier than dense ones;")
 	fmt.Println("stochastic FT training buys robustness back at moderate fault")
 	fmt.Println("rates while keeping the compression (sparsity unchanged).")
+}
+
+// must unwraps a (value, error) pair; with a background context the
+// core API only errors on cancellation, which cannot happen here.
+func must[T any](v T, err error) T {
+	if err != nil {
+		panic(err)
+	}
+	return v
 }

@@ -10,15 +10,27 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"fmt"
+	"os"
+	"os/signal"
 
 	"github.com/ftpim/ftpim/internal/core"
 	"github.com/ftpim/ftpim/internal/data"
 	"github.com/ftpim/ftpim/internal/metrics"
 	"github.com/ftpim/ftpim/internal/models"
+	"github.com/ftpim/ftpim/internal/obs"
 )
 
 func main() {
+	// Ctrl-C cancels the context; training and evaluation stop at the
+	// next batch / Monte-Carlo run boundary with the weights intact.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	// Progress events (one line per epoch) go to stderr.
+	sink := obs.NewProgress(os.Stderr)
+
 	// A 10-class CIFAR-like synthetic task, small enough to train in
 	// seconds on one core.
 	cfg := data.SynthConfig{
@@ -37,30 +49,36 @@ func main() {
 
 	trainCfg := core.Config{
 		Epochs: 12, Batch: 32, LR: 0.08, Momentum: 0.9, WeightDecay: 5e-4,
-		Aug: data.Augment{Flip: true, ShiftMax: 1}, Seed: 1,
+		Aug: data.Augment{Flip: true, ShiftMax: 1}, Seed: 1, Sink: sink,
 	}
 
 	// ① Pretrain.
-	core.Train(net, train, trainCfg)
+	if _, err := core.Train(ctx, net, train, trainCfg); err != nil {
+		exitOn(err)
+	}
 	accPretrain := core.EvalClean(net, test, 128)
 	fmt.Printf("① Acc_pretrain (ideal, no faults):     %6.2f%%\n", accPretrain*100)
 
 	// ③ Deploy with stuck-at faults (Chen et al. SA0:SA1 = 1.75:9.04).
 	ev := core.DefectEval{Runs: 20, Batch: 128, Seed: 99}
 	psa := 0.05
-	before := core.EvalDefect(net, test, psa, ev)
+	before, err := core.EvalDefect(ctx, net, test, psa, ev)
+	exitOn(err)
 	fmt.Printf("③ Acc_defect at Psa=%g (no FT):        %6.2f%% ± %.2f\n", psa, before.Mean*100, before.CI95()*100)
 
 	// ② Stochastic fault-tolerant retraining (one-shot, Psa^T = 0.1).
 	ftCfg := trainCfg
 	ftCfg.LR = 0.04
 	ftCfg.Epochs = 12
-	core.OneShotFT(net, train, ftCfg, 0.1)
+	if _, err := core.OneShotFT(ctx, net, train, ftCfg, 0.1); err != nil {
+		exitOn(err)
+	}
 	accRetrain := core.EvalClean(net, test, 128)
 	fmt.Printf("② Acc_retrain (ideal, after FT):       %6.2f%%\n", accRetrain*100)
 
 	// ③' Redeploy the fault-tolerant model.
-	after := core.EvalDefect(net, test, psa, ev)
+	after, err := core.EvalDefect(ctx, net, test, psa, ev)
+	exitOn(err)
 	fmt.Printf("③ Acc_defect at Psa=%g (with FT):      %6.2f%% ± %.2f\n", psa, after.Mean*100, after.CI95()*100)
 
 	fmt.Printf("\nStability Score SS(%g): baseline %.2f → fault-tolerant %.2f\n",
@@ -69,4 +87,17 @@ func main() {
 		metrics.StabilityScore(accRetrain*100, accPretrain*100, after.Mean*100))
 	fmt.Println("\nThe FT model holds its accuracy on defective crossbars that")
 	fmt.Println("collapse the baseline — with no per-device retraining.")
+}
+
+// exitOn exits quietly on Ctrl-C (the only error the core API returns
+// under a signal-cancelled context).
+func exitOn(err error) {
+	if err == nil {
+		return
+	}
+	if errors.Is(err, context.Canceled) {
+		fmt.Fprintln(os.Stderr, "interrupted")
+		os.Exit(130)
+	}
+	panic(err)
 }

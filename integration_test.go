@@ -6,6 +6,7 @@ package ftpim
 // experiment harness at quick scale.
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -19,6 +20,9 @@ import (
 	"github.com/ftpim/ftpim/internal/reram"
 	"github.com/ftpim/ftpim/internal/tensor"
 )
+
+// bg is the context for tests that never cancel.
+var bg = context.Background()
 
 // TestEndToEndFigure1Story walks the paper's Figure 1 pipeline and
 // checks every causal link at small scale.
@@ -34,7 +38,9 @@ func TestEndToEndFigure1Story(t *testing.T) {
 		Aug: data.Augment{Flip: true, ShiftMax: 1}, Seed: 1}
 
 	// ① Pretraining beats chance comfortably.
-	core.Train(net, train, tc)
+	if _, err := core.Train(bg, net, train, tc); err != nil {
+		t.Fatal(err)
+	}
 	accPre := core.EvalClean(net, test, 64)
 	if accPre < 2.0/6 {
 		t.Fatalf("pretrain acc %.3f too low", accPre)
@@ -43,7 +49,11 @@ func TestEndToEndFigure1Story(t *testing.T) {
 	// ③ Faults at a harsh rate collapse accuracy.
 	ev := core.DefectEval{Runs: 10, Batch: 64, Seed: 5}
 	const psa = 0.1
-	collapsed := core.EvalDefect(net, test, psa, ev).Mean
+	cs, err := core.EvalDefect(bg, net, test, psa, ev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	collapsed := cs.Mean
 	if collapsed >= accPre-0.1 {
 		t.Fatalf("10%% faults should hurt: %.3f vs clean %.3f", collapsed, accPre)
 	}
@@ -52,13 +62,19 @@ func TestEndToEndFigure1Story(t *testing.T) {
 	ftc := tc
 	ftc.LR = 0.04
 	ftc.Epochs = 10
-	core.OneShotFT(net, train, ftc, psa)
+	if _, err := core.OneShotFT(bg, net, train, ftc, psa); err != nil {
+		t.Fatal(err)
+	}
 	accRe := core.EvalClean(net, test, 64)
 	if accRe < accPre-0.45 {
 		t.Fatalf("FT ideal accuracy collapsed: %.3f vs %.3f", accRe, accPre)
 	}
 	// ...and ③' recovers defect accuracy.
-	recovered := core.EvalDefect(net, test, psa, ev).Mean
+	rs, err := core.EvalDefect(bg, net, test, psa, ev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recovered := rs.Mean
 	if recovered <= collapsed {
 		t.Fatalf("FT should beat baseline under faults: %.3f vs %.3f", recovered, collapsed)
 	}
@@ -80,7 +96,9 @@ func TestEndToEndCrossbarDeployment(t *testing.T) {
 	}
 	train, test := data.Generate(cfg)
 	net := models.BuildSimpleCNN(models.SimpleCNNConfig{InChannels: 3, Width: 4, Classes: 5, Seed: 2})
-	core.Train(net, train, core.Config{Epochs: 6, Batch: 16, LR: 0.05, Momentum: 0.9, Seed: 3})
+	if _, err := core.Train(bg, net, train, core.Config{Epochs: 6, Batch: 16, LR: 0.05, Momentum: 0.9, Seed: 3}); err != nil {
+		t.Fatal(err)
+	}
 	clean := metrics.Evaluate(net, test, 64)
 
 	opts := reram.MapOptions{TileRows: 32, TileCols: 32, Levels: 64, Gmin: 0.1, Gmax: 10}
@@ -130,14 +148,18 @@ func TestEndToEndPrunedFTPipeline(t *testing.T) {
 	train, test := data.Generate(cfg)
 	net := models.BuildSimpleCNN(models.SimpleCNNConfig{InChannels: 3, Width: 6, Classes: 5, Seed: 4})
 	tc := core.Config{Epochs: 8, Batch: 16, LR: 0.05, Momentum: 0.9, WeightDecay: 1e-4, Seed: 5}
-	core.Train(net, train, tc)
+	if _, err := core.Train(bg, net, train, tc); err != nil {
+		t.Fatal(err)
+	}
 
 	admm := prune.NewADMM(net.WeightParams(), 0.6, 0.01)
 	ac := tc
 	ac.Epochs = 6
 	ac.ADMM = admm
 	ac.ADMMInterval = 2
-	core.Train(net, train, ac)
+	if _, err := core.Train(bg, net, train, ac); err != nil {
+		t.Fatal(err)
+	}
 	admm.Finalize()
 	if sp := net.Sparsity(); math.Abs(sp-0.6) > 0.05 {
 		t.Fatalf("sparsity %.3f after ADMM", sp)
@@ -146,7 +168,9 @@ func TestEndToEndPrunedFTPipeline(t *testing.T) {
 	ftc := tc
 	ftc.LR = 0.02
 	ftc.Epochs = 8
-	core.OneShotFT(net, train, ftc, 0.1)
+	if _, err := core.OneShotFT(bg, net, train, ftc, 0.1); err != nil {
+		t.Fatal(err)
+	}
 	if sp := net.Sparsity(); math.Abs(sp-0.6) > 0.05 {
 		t.Fatalf("FT training must preserve sparsity, got %.3f", sp)
 	}
@@ -173,15 +197,24 @@ func TestQuickPresetFullSuite(t *testing.T) {
 		t.Skip("full suite is a few seconds; skipped in -short")
 	}
 	e := experiments.NewEnv("quick", t.TempDir(), nil)
-	t1 := experiments.Table1(e, "c10")
+	t1, err := experiments.Table1(bg, e, "c10")
+	if err != nil {
+		t.Fatal(err)
+	}
 	if t1.PretrainAcc <= 0 {
 		t.Fatal("table1 broken")
 	}
-	f2 := experiments.Figure2(e, "c10")
+	f2, err := experiments.Figure2(bg, e, "c10")
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(f2.Series) == 0 {
 		t.Fatal("figure2 broken")
 	}
-	t2 := experiments.Table2(e)
+	t2, err := experiments.Table2(bg, e)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(t2.Sections) != 2 {
 		t.Fatal("table2 broken")
 	}

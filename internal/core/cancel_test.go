@@ -1,0 +1,207 @@
+// Cancellation suite for the context-aware core API: every entry point
+// must abort at the next batch / Monte-Carlo run boundary, leave the
+// live network's weights exactly as they were, and report ctx's error.
+// Lives in the external test package alongside the determinism suite so
+// it exercises the public API surface only.
+package core_test
+
+import (
+	"context"
+	"errors"
+	"reflect"
+	"sync/atomic"
+	"testing"
+
+	"github.com/ftpim/ftpim/internal/core"
+	"github.com/ftpim/ftpim/internal/data"
+	"github.com/ftpim/ftpim/internal/experiments"
+	"github.com/ftpim/ftpim/internal/metrics"
+	"github.com/ftpim/ftpim/internal/obs"
+	"github.com/ftpim/ftpim/internal/optim"
+)
+
+// smokeTrainSet returns the smoke preset's training split.
+func smokeTrainSet(t *testing.T) *data.Dataset {
+	t.Helper()
+	train, _ := data.Generate(experiments.ScaleFor("smoke").C10)
+	return train
+}
+
+// cancelAfter is a Sink that cancels a context once it has seen n
+// events of the given kind. Emit may be called concurrently from
+// worker goroutines, so the counter is atomic.
+type cancelAfter struct {
+	kind   obs.Kind
+	n      int64
+	seen   atomic.Int64
+	cancel context.CancelFunc
+}
+
+func (c *cancelAfter) Enabled() bool { return true }
+
+func (c *cancelAfter) Emit(e obs.Event) {
+	if e.Kind == c.kind && c.seen.Add(1) == c.n {
+		c.cancel()
+	}
+}
+
+// TestEvalDefectPreCanceled checks that an already-canceled context
+// returns immediately with the zero Summary at both the serial and the
+// parallel path, without touching the network.
+func TestEvalDefectPreCanceled(t *testing.T) {
+	net, test := presetFixture(t, "smoke")
+	snap := net.Snapshot()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for _, w := range []int{1, 8} {
+		s, err := core.EvalDefect(ctx, net, test, 0.05, core.DefectEval{Runs: 4, Batch: 64, Seed: 1, Workers: w})
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("workers=%d: want context.Canceled, got %v", w, err)
+		}
+		if !reflect.DeepEqual(s, metrics.Summary{}) {
+			t.Fatalf("workers=%d: want zero Summary on cancellation, got %+v", w, s)
+		}
+	}
+	if string(net.Snapshot()) != string(snap) {
+		t.Fatal("canceled EvalDefect must leave weights untouched")
+	}
+}
+
+// TestEvalDefectSweepCancelMidway cancels from inside the sink after
+// the first completed rate and checks the sweep returns promptly with
+// exactly the completed prefix and the weights restored.
+func TestEvalDefectSweepCancelMidway(t *testing.T) {
+	for _, workers := range []int{1, 8} {
+		net, test := presetFixture(t, "smoke")
+		snap := net.Snapshot()
+		rates := []float64{0.01, 0.02, 0.05, 0.1}
+
+		ctx, cancel := context.WithCancel(context.Background())
+		sink := &cancelAfter{kind: obs.KindEvalRate, n: 1, cancel: cancel}
+		cfg := core.DefectEval{Runs: 3, Batch: 64, Seed: 7, Workers: workers, Sink: sink}
+		got, err := core.EvalDefectSweep(ctx, net, test, rates, cfg)
+		cancel()
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("workers=%d: want context.Canceled, got %v", workers, err)
+		}
+		if len(got) == 0 || len(got) >= len(rates) {
+			t.Fatalf("workers=%d: want a strict prefix of completed rates, got %d/%d", workers, len(got), len(rates))
+		}
+		if string(net.Snapshot()) != string(snap) {
+			t.Fatalf("workers=%d: canceled sweep must restore weights", workers)
+		}
+
+		// The completed prefix must match an uncanceled sweep bit for bit.
+		cfg.Sink = nil
+		full, err := core.EvalDefectSweep(ctxbg, net, test, rates, cfg)
+		if err != nil {
+			t.Fatalf("EvalDefectSweep: %v", err)
+		}
+		if !reflect.DeepEqual(got, full[:len(got)]) {
+			t.Fatalf("workers=%d: canceled prefix diverges from full sweep", workers)
+		}
+	}
+}
+
+// TestTrainCancelMidway cancels after the first epoch's event and
+// checks Train returns the partial history with ctx's error, leaving
+// the network with the weights of the completed epochs (no in-flight
+// lesion).
+func TestTrainCancelMidway(t *testing.T) {
+	net, _ := presetFixture(t, "smoke")
+	s := smokeTrainSet(t)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	sink := &cancelAfter{kind: obs.KindTrainEpoch, n: 1, cancel: cancel}
+	// A constant schedule makes "1 epoch of a 6-epoch run" bit-identical
+	// to a fresh 1-epoch run (cosine would anneal differently).
+	res, err := core.Train(ctx, net, s, core.Config{
+		Epochs: 6, Batch: 16, LR: 0.05, Momentum: 0.9, Seed: 3,
+		Schedule: optim.Constant(0.05), Sink: sink,
+	})
+	cancel()
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+	if res == nil || len(res.History) != 1 {
+		t.Fatalf("want the one completed epoch in the partial Result, got %+v", res)
+	}
+	// The returned weights must be usable: accuracy after cancellation
+	// must match a fresh 1-epoch run bit for bit (no in-flight lesion).
+	ref, _ := presetFixture(t, "smoke")
+	if _, err := core.Train(ctxbg, ref, s, core.Config{
+		Epochs: 1, Batch: 16, LR: 0.05, Momentum: 0.9, Seed: 3,
+		Schedule: optim.Constant(0.05),
+	}); err != nil {
+		t.Fatalf("reference Train: %v", err)
+	}
+	accGot := core.EvalClean(net, s, 64)
+	accRef := core.EvalClean(ref, s, 64)
+	if accGot != accRef {
+		t.Fatalf("canceled Train diverged from 1-epoch run: %.6f vs %.6f", accGot, accRef)
+	}
+}
+
+// TestProgressiveFTCancelMidway cancels after the first ladder stage
+// announcement and checks the partial history is returned.
+func TestProgressiveFTCancelMidway(t *testing.T) {
+	net, _ := presetFixture(t, "smoke")
+	s := smokeTrainSet(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	sink := &cancelAfter{kind: obs.KindFTStage, n: 2, cancel: cancel}
+	res, err := core.ProgressiveFT(ctx, net, s, core.Config{
+		Epochs: 2, Batch: 16, LR: 0.02, Momentum: 0.9, Seed: 5, Sink: sink,
+	}, []float64{0.01, 0.05, 0.1}, 1)
+	cancel()
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+	if res == nil || len(res.History) == 0 || len(res.History) >= 3 {
+		t.Fatalf("want a strict prefix of stage history, got %+v", res)
+	}
+}
+
+// TestEvalDefectSinkEquivalence checks the "events observe, never
+// perturb" contract: summaries with the Null sink and with a recording
+// sink are bit-identical at the serial and parallel paths, and the
+// recorder sees exactly one eval.run event per Monte-Carlo draw plus
+// one timing event.
+func TestEvalDefectSinkEquivalence(t *testing.T) {
+	net, test := presetFixture(t, "smoke")
+	const runs = 6
+	for _, w := range []int{1, 8} {
+		base := core.DefectEval{Runs: runs, Batch: 64, Seed: 11, Workers: w}
+		silent := evalD(t, net, test, 0.05, base)
+
+		rec := &obs.Recorder{}
+		cfg := base
+		cfg.Sink = rec
+		observed := evalD(t, net, test, 0.05, cfg)
+
+		if !reflect.DeepEqual(silent, observed) {
+			t.Fatalf("workers=%d: sink perturbed the summary: %+v vs %+v", w, silent, observed)
+		}
+		if got := rec.Count(obs.KindEvalRun); got != runs {
+			t.Fatalf("workers=%d: want %d eval.run events, got %d", w, runs, got)
+		}
+		if got := rec.Count(obs.KindTiming); got != 1 {
+			t.Fatalf("workers=%d: want 1 timing event, got %d", w, got)
+		}
+		// Every run ordinal 1..runs appears exactly once regardless of
+		// scheduling order.
+		seen := map[int]bool{}
+		for _, e := range rec.Events() {
+			if e.Kind == obs.KindEvalRun {
+				if seen[e.Run] {
+					t.Fatalf("workers=%d: run %d reported twice", w, e.Run)
+				}
+				seen[e.Run] = true
+			}
+		}
+		for r := 1; r <= runs; r++ {
+			if !seen[r] {
+				t.Fatalf("workers=%d: run %d never reported", w, r)
+			}
+		}
+	}
+}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -12,6 +13,9 @@ import (
 	"github.com/ftpim/ftpim/internal/prune"
 	"github.com/ftpim/ftpim/internal/tensor"
 )
+
+// bg is the context for tests that never cancel.
+var bg = context.Background()
 
 // testTask returns a small, easily learnable task and a fresh model.
 func testTask() (*data.Dataset, *data.Dataset) {
@@ -36,11 +40,32 @@ func quickCfg() Config {
 	}
 }
 
+// mustTrain runs Train under a background context, failing the test on
+// an (impossible without cancellation) error.
+func mustTrain(t *testing.T, net *nn.Network, ds *data.Dataset, cfg Config) *Result {
+	t.Helper()
+	res, err := Train(bg, net, ds, cfg)
+	if err != nil {
+		t.Fatalf("Train: %v", err)
+	}
+	return res
+}
+
+// mustEvalDefect runs EvalDefect under a background context.
+func mustEvalDefect(t *testing.T, net *nn.Network, ds *data.Dataset, psa float64, cfg DefectEval) metrics.Summary {
+	t.Helper()
+	s, err := EvalDefect(bg, net, ds, psa, cfg)
+	if err != nil {
+		t.Fatalf("EvalDefect: %v", err)
+	}
+	return s
+}
+
 func TestTrainLearns(t *testing.T) {
 	train, test := testTask()
 	net := testModel(1)
 	before := metrics.Evaluate(net, test, 64)
-	res := Train(net, train, quickCfg())
+	res := mustTrain(t, net, train, quickCfg())
 	after := metrics.Evaluate(net, test, 64)
 	if after < 0.7 {
 		t.Fatalf("test accuracy %.3f after training (was %.3f) — did not learn", after, before)
@@ -58,8 +83,8 @@ func TestTrainDeterministic(t *testing.T) {
 	cfg := quickCfg()
 	cfg.Epochs = 3
 	a, b := testModel(1), testModel(1)
-	ra := Train(a, train, cfg)
-	rb := Train(b, train, cfg)
+	ra := mustTrain(t, a, train, cfg)
+	rb := mustTrain(t, b, train, cfg)
 	for i := range ra.History {
 		if ra.History[i].Loss != rb.History[i].Loss {
 			t.Fatal("same seed must reproduce the training trace exactly")
@@ -86,7 +111,7 @@ func TestTrainBadConfigPanics(t *testing.T) {
 					t.Fatalf("expected panic for %+v", cfg)
 				}
 			}()
-			Train(testModel(1), train, cfg)
+			Train(bg, testModel(1), train, cfg)
 		}()
 	}
 }
@@ -95,7 +120,9 @@ func TestFTTrainingLearnsUnderFaults(t *testing.T) {
 	train, test := testTask()
 	net := testModel(2)
 	cfg := quickCfg()
-	OneShotFT(net, train, cfg, 0.05)
+	if _, err := OneShotFT(bg, net, train, cfg, 0.05); err != nil {
+		t.Fatal(err)
+	}
 	acc := metrics.Evaluate(net, test, 64)
 	if acc < 0.6 {
 		t.Fatalf("FT training collapsed: clean acc %.3f", acc)
@@ -112,15 +139,17 @@ func TestFTBeatsBaselineUnderFaults(t *testing.T) {
 	ev := DefectEval{Runs: 10, Batch: 64, Seed: 77}
 
 	base := testModel(3)
-	Train(base, train, quickCfg())
-	baseDefect := EvalDefect(base, test, psaTest, ev).Mean
+	mustTrain(t, base, train, quickCfg())
+	baseDefect := mustEvalDefect(t, base, test, psaTest, ev).Mean
 
 	ft := testModel(3)
 	if err := ft.Restore(base.Snapshot()); err != nil {
 		t.Fatal(err)
 	}
-	OneShotFT(ft, train, quickCfg(), 0.2)
-	ftDefect := EvalDefect(ft, test, psaTest, ev).Mean
+	if _, err := OneShotFT(bg, ft, train, quickCfg(), 0.2); err != nil {
+		t.Fatal(err)
+	}
+	ftDefect := mustEvalDefect(t, ft, test, psaTest, ev).Mean
 
 	if ftDefect <= baseDefect+0.05 {
 		t.Fatalf("FT model (%.3f) should clearly beat baseline (%.3f) under %.0f%% faults",
@@ -133,9 +162,9 @@ func TestEvalDefectRestoresWeights(t *testing.T) {
 	net := testModel(4)
 	cfg := quickCfg()
 	cfg.Epochs = 2
-	Train(net, train, cfg)
+	mustTrain(t, net, train, cfg)
 	snap := net.Snapshot()
-	EvalDefect(net, test, 0.1, DefectEval{Runs: 3, Batch: 64, Seed: 9})
+	mustEvalDefect(t, net, test, 0.1, DefectEval{Runs: 3, Batch: 64, Seed: 9})
 	after := net.Snapshot()
 	if string(snap) != string(after) {
 		t.Fatal("EvalDefect must leave weights untouched")
@@ -147,9 +176,9 @@ func TestEvalDefectZeroRateEqualsClean(t *testing.T) {
 	net := testModel(5)
 	cfg := quickCfg()
 	cfg.Epochs = 2
-	Train(net, train, cfg)
+	mustTrain(t, net, train, cfg)
 	clean := EvalClean(net, test, 64)
-	s := EvalDefect(net, test, 0, DefectEval{Runs: 5, Batch: 64})
+	s := mustEvalDefect(t, net, test, 0, DefectEval{Runs: 5, Batch: 64})
 	if s.Mean != clean || s.N != 1 || s.Std != 0 {
 		t.Fatalf("zero-rate defect eval should be one clean pass: %+v vs %v", s, clean)
 	}
@@ -158,10 +187,10 @@ func TestEvalDefectZeroRateEqualsClean(t *testing.T) {
 func TestEvalDefectDegradesWithRate(t *testing.T) {
 	train, test := testTask()
 	net := testModel(6)
-	Train(net, train, quickCfg())
+	mustTrain(t, net, train, quickCfg())
 	ev := DefectEval{Runs: 6, Batch: 64, Seed: 3}
-	low := EvalDefect(net, test, 0.005, ev).Mean
-	high := EvalDefect(net, test, 0.3, ev).Mean
+	low := mustEvalDefect(t, net, test, 0.005, ev).Mean
+	high := mustEvalDefect(t, net, test, 0.3, ev).Mean
 	if high >= low {
 		t.Fatalf("accuracy should degrade with fault rate: %.3f @0.005 vs %.3f @0.3", low, high)
 	}
@@ -172,9 +201,12 @@ func TestEvalDefectSweep(t *testing.T) {
 	net := testModel(7)
 	cfg := quickCfg()
 	cfg.Epochs = 2
-	Train(net, train, cfg)
+	mustTrain(t, net, train, cfg)
 	rates := []float64{0, 0.01, 0.2}
-	sums := EvalDefectSweep(net, test, rates, DefectEval{Runs: 3, Batch: 64})
+	sums, err := EvalDefectSweep(bg, net, test, rates, DefectEval{Runs: 3, Batch: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(sums) != 3 {
 		t.Fatal("sweep length mismatch")
 	}
@@ -218,7 +250,10 @@ func TestProgressiveFTHistoryAndLearning(t *testing.T) {
 	train, test := testTask()
 	net := testModel(8)
 	cfg := quickCfg()
-	res := ProgressiveFT(net, train, cfg, []float64{0.01, 0.05}, 3)
+	res, err := ProgressiveFT(bg, net, train, cfg, []float64{0.01, 0.05}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(res.History) != 6 {
 		t.Fatalf("history length %d, want 6", len(res.History))
 	}
@@ -242,13 +277,13 @@ func TestProgressiveEmptyLadderPanics(t *testing.T) {
 			t.Fatal("expected panic")
 		}
 	}()
-	ProgressiveFT(testModel(1), train, quickCfg(), nil, 1)
+	ProgressiveFT(bg, testModel(1), train, quickCfg(), nil, 1)
 }
 
 func TestFaultAwareRetrainHelpsOwnDeviceOnly(t *testing.T) {
 	train, test := testTask()
 	net := testModel(9)
-	Train(net, train, quickCfg())
+	mustTrain(t, net, train, quickCfg())
 
 	rng := tensor.NewRNG(123)
 	weights := WeightTensors(net)
@@ -257,7 +292,9 @@ func TestFaultAwareRetrainHelpsOwnDeviceOnly(t *testing.T) {
 	before := EvalOnDevice(net, test, dev, 64)
 	cfg := quickCfg()
 	cfg.Epochs = 6
-	FaultAwareRetrain(net, train, cfg, dev)
+	if _, err := FaultAwareRetrain(bg, net, train, cfg, dev); err != nil {
+		t.Fatal(err)
+	}
 	after := EvalOnDevice(net, test, dev, 64)
 	if after <= before {
 		t.Fatalf("device-specific retraining should help its own device: %.3f -> %.3f", before, after)
@@ -269,7 +306,7 @@ func TestEvalOnDeviceRestores(t *testing.T) {
 	net := testModel(10)
 	cfg := quickCfg()
 	cfg.Epochs = 2
-	Train(net, train, cfg)
+	mustTrain(t, net, train, cfg)
 	snap := net.Snapshot()
 	dev := fault.DrawDeviceMap(tensor.NewRNG(5).Stream("d"), fault.ChenModel(), WeightTensors(net), 0.1)
 	EvalOnDevice(net, test, dev, 64)
@@ -281,14 +318,14 @@ func TestEvalOnDeviceRestores(t *testing.T) {
 func TestADMMTrainingProducesSparseAccurateModel(t *testing.T) {
 	train, test := testTask()
 	net := testModel(11)
-	Train(net, train, quickCfg()) // pretrain
+	mustTrain(t, net, train, quickCfg()) // pretrain
 
 	admm := prune.NewADMM(net.WeightParams(), 0.5, 0.01)
 	cfg := quickCfg()
 	cfg.Epochs = 6
 	cfg.ADMM = admm
 	cfg.ADMMInterval = 2
-	Train(net, train, cfg)
+	mustTrain(t, net, train, cfg)
 	admm.Finalize()
 
 	if sp := net.Sparsity(); math.Abs(sp-0.5) > 0.05 {
@@ -297,7 +334,7 @@ func TestADMMTrainingProducesSparseAccurateModel(t *testing.T) {
 	// Fine-tune with masks fixed.
 	ft := quickCfg()
 	ft.Epochs = 4
-	Train(net, train, ft)
+	mustTrain(t, net, train, ft)
 	if sp := net.Sparsity(); math.Abs(sp-0.5) > 0.05 {
 		t.Fatalf("fine-tuning must preserve sparsity, got %.3f", sp)
 	}
@@ -309,12 +346,15 @@ func TestADMMTrainingProducesSparseAccurateModel(t *testing.T) {
 func TestStabilityReportOrdering(t *testing.T) {
 	train, test := testTask()
 	base := testModel(12)
-	Train(base, train, quickCfg())
+	mustTrain(t, base, train, quickCfg())
 	accPre := EvalClean(base, test, 64)
 
 	ev := DefectEval{Runs: 20, Batch: 64, Seed: 11}
 	rates := []float64{0.1, 0.2}
-	repBase := Stability(base, test, accPre, rates, ev)
+	repBase, err := Stability(bg, base, test, accPre, rates, ev)
+	if err != nil {
+		t.Fatal(err)
+	}
 
 	ft := testModel(12)
 	if err := ft.Restore(base.Snapshot()); err != nil {
@@ -322,8 +362,13 @@ func TestStabilityReportOrdering(t *testing.T) {
 	}
 	ftCfg := quickCfg()
 	ftCfg.Epochs = 12
-	OneShotFT(ft, train, ftCfg, 0.2)
-	repFT := Stability(ft, test, accPre, rates, ev)
+	if _, err := OneShotFT(bg, ft, train, ftCfg, 0.2); err != nil {
+		t.Fatal(err)
+	}
+	repFT, err := Stability(bg, ft, test, accPre, rates, ev)
+	if err != nil {
+		t.Fatal(err)
+	}
 
 	for i := range rates {
 		if repFT.AccDefect[i] <= repBase.AccDefect[i] {
@@ -348,7 +393,9 @@ func TestPerBatchResamplingStillLearns(t *testing.T) {
 	net := testModel(13)
 	cfg := quickCfg()
 	cfg.PerBatch = true
-	OneShotFT(net, train, cfg, 0.05)
+	if _, err := OneShotFT(bg, net, train, cfg, 0.05); err != nil {
+		t.Fatal(err)
+	}
 	if acc := metrics.Evaluate(net, test, 64); acc < 0.55 {
 		t.Fatalf("per-batch FT collapsed: %.3f", acc)
 	}
@@ -374,7 +421,7 @@ func TestTrainEvalTracking(t *testing.T) {
 	cfg := quickCfg()
 	cfg.Epochs = 4
 	cfg.EvalDS = test
-	res := Train(net, train, cfg)
+	res := mustTrain(t, net, train, cfg)
 	if res.BestEvalAcc <= 0 {
 		t.Fatal("BestEvalAcc not tracked")
 	}
@@ -401,9 +448,58 @@ func TestTrainKeepBestRestoresBestWeights(t *testing.T) {
 	cfg.Epochs = 6
 	cfg.EvalDS = test
 	cfg.KeepBest = true
-	res := Train(net, train, cfg)
+	res := mustTrain(t, net, train, cfg)
 	// The final network must score exactly the tracked best accuracy.
 	if got := EvalClean(net, test, cfg.Batch); got != res.BestEvalAcc {
 		t.Fatalf("restored accuracy %v != best %v", got, res.BestEvalAcc)
 	}
+}
+
+func TestConfigNormalizeDefaults(t *testing.T) {
+	c := Config{Epochs: 4, Batch: 8, LR: 0.1}.Normalize()
+	if c.Schedule == nil {
+		t.Fatal("Normalize must install the cosine schedule")
+	}
+	if c.ADMMInterval != 3 {
+		t.Fatalf("ADMMInterval default %d, want 3", c.ADMMInterval)
+	}
+	if c.FaultModel != fault.ChenModel() {
+		t.Fatalf("zero fault model must resolve to ChenModel, got %+v", c.FaultModel)
+	}
+	if c.Sink == nil {
+		t.Fatal("Normalize must resolve a nil sink")
+	}
+}
+
+func TestDefectEvalNormalizeDefaults(t *testing.T) {
+	d := DefectEval{}.Normalize()
+	if d.Runs != 10 || d.Batch != 64 {
+		t.Fatalf("defaults wrong: %+v", d)
+	}
+	if d.Model != fault.ChenModel() {
+		t.Fatalf("zero model must resolve to ChenModel, got %+v", d.Model)
+	}
+	if d.Workers < 1 {
+		t.Fatalf("workers default %d", d.Workers)
+	}
+	if d.Sink == nil {
+		t.Fatal("Normalize must resolve a nil sink")
+	}
+	// Explicit values pass through untouched.
+	d = DefectEval{Runs: 3, Batch: 32, Workers: 2, Model: fault.Uniform()}.Normalize()
+	if d.Runs != 3 || d.Batch != 32 || d.Workers != 2 || d.Model != fault.Uniform() {
+		t.Fatalf("explicit values must pass through: %+v", d)
+	}
+}
+
+// TestHalfZeroFaultModelPanics pins the IsZero/Validate contract: the
+// zero model means "default", but an explicitly degenerate model (set
+// but unusable) must fail loudly instead of silently becoming Chen.
+func TestHalfZeroFaultModelPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative-ratio model must panic in Normalize")
+		}
+	}()
+	DefectEval{Model: fault.Model{Ratio0: -1, Ratio1: 2}}.Normalize()
 }

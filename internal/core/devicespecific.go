@@ -1,6 +1,8 @@
 package core
 
 import (
+	"context"
+
 	"github.com/ftpim/ftpim/internal/data"
 	"github.com/ftpim/ftpim/internal/fault"
 	"github.com/ftpim/ftpim/internal/nn"
@@ -13,8 +15,11 @@ import (
 // device. The result is excellent on that device and useless on any
 // other, which is the scalability problem the paper's stochastic
 // schemes remove: retraining must be repeated per manufactured unit.
-func FaultAwareRetrain(net *nn.Network, ds *data.Dataset, cfg Config, dm *fault.DeviceMap) *Result {
+//
+// Cancellation behaves exactly as in Train: the partial Result and
+// ctx's error are returned.
+func FaultAwareRetrain(ctx context.Context, net *nn.Network, ds *data.Dataset, cfg Config, dm *fault.DeviceMap) (*Result, error) {
 	cfg.Pinned = dm
 	cfg.FaultRate = 0
-	return Train(net, ds, cfg)
+	return Train(ctx, net, ds, cfg)
 }

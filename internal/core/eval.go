@@ -1,13 +1,16 @@
 package core
 
 import (
+	"context"
 	"runtime"
 	"sync"
+	"time"
 
 	"github.com/ftpim/ftpim/internal/data"
 	"github.com/ftpim/ftpim/internal/fault"
 	"github.com/ftpim/ftpim/internal/metrics"
 	"github.com/ftpim/ftpim/internal/nn"
+	"github.com/ftpim/ftpim/internal/obs"
 )
 
 // DefectEval parameterizes the defect-accuracy protocol: the paper
@@ -22,26 +25,59 @@ import (
 // the network, so neither scheduling nor sharing can perturb the
 // floating-point stream.
 type DefectEval struct {
-	Runs    int
-	Batch   int
+	Runs    int         // <= 0 → 10
+	Batch   int         // <= 0 → 64 (metrics.Evaluate default)
 	Model   fault.Model // zero value → fault.ChenModel()
 	Seed    uint64
 	Workers int // 0 = all cores, 1 = serial reference path
+
+	// Sink receives one eval.run event per Monte-Carlo run plus a
+	// timing event per EvalDefect call (nil → obs.Null). With Workers
+	// > 1 the eval.run events arrive from worker goroutines in
+	// scheduling order; Event.Run identifies the draw. Events never
+	// perturb results: summaries are bit-identical with any sink.
+	Sink obs.Sink
 }
 
+// Normalize returns d with every optional zero-valued field resolved to
+// its documented default:
+//
+//   - Runs <= 0 → 10
+//   - Batch <= 0 → 64
+//   - Model zero value → fault.ChenModel() (an explicitly set but
+//     degenerate model panics loudly instead of being remapped)
+//   - Workers <= 0 → runtime.NumCPU()
+//   - Sink nil → obs.Null
+//
+// The Eval* entry points apply Normalize internally; callers only need
+// it to inspect the effective configuration.
+func (d DefectEval) Normalize() DefectEval {
+	if d.Runs <= 0 {
+		d.Runs = 10
+	}
+	if d.Batch <= 0 {
+		d.Batch = 64
+	}
+	d.Model = d.model()
+	if d.Workers <= 0 {
+		d.Workers = runtime.NumCPU()
+	}
+	d.Sink = obs.Or(d.Sink)
+	return d
+}
+
+// model resolves the effective fault model: the zero value means
+// "unset" and yields the paper's ChenModel; an explicitly set model is
+// validated so a degenerate choice fails loudly here rather than
+// silently evaluating the wrong fault mix.
 func (d DefectEval) model() fault.Model {
-	if d.Model.Ratio0 == 0 && d.Model.Ratio1 == 0 {
+	if d.Model.IsZero() {
 		return fault.ChenModel()
 	}
-	return d.Model
-}
-
-// workers resolves the effective Monte-Carlo worker count.
-func (d DefectEval) workers() int {
-	if d.Workers > 0 {
-		return d.Workers
+	if err := d.Model.Validate(); err != nil {
+		panic("core: invalid DefectEval.Model: " + err.Error())
 	}
-	return runtime.NumCPU()
+	return d.Model
 }
 
 // EvalClean returns the fault-free test accuracy.
@@ -54,41 +90,68 @@ func EvalClean(net *nn.Network, ds *data.Dataset, batch int) float64 {
 // network's weights are identical before and after the call. With
 // cfg.Workers != 1 the runs execute concurrently on private network
 // clones; the returned Summary is bit-identical to the serial path.
-func EvalDefect(net *nn.Network, ds *data.Dataset, psa float64, cfg DefectEval) metrics.Summary {
-	if cfg.Runs <= 0 {
-		cfg.Runs = 10
-	}
+//
+// Cancelling ctx aborts at the next Monte-Carlo run boundary; the
+// lesion in flight is undone first, so the live network's weights are
+// always restored. On cancellation the Summary is the zero value and
+// the error is ctx's.
+func EvalDefect(ctx context.Context, net *nn.Network, ds *data.Dataset, psa float64, cfg DefectEval) (metrics.Summary, error) {
+	cfg = cfg.Normalize()
+	sink := cfg.Sink
+	start := time.Now()
 	if psa == 0 {
 		// No stochasticity at rate zero; one clean pass suffices.
+		if err := ctx.Err(); err != nil {
+			return metrics.Summary{}, err
+		}
 		acc := metrics.Evaluate(net, ds, cfg.Batch)
-		return metrics.Summarize([]float64{acc})
+		if sink.Enabled() {
+			sink.Emit(obs.Event{Kind: obs.KindEvalRun, Run: 1, Rate: 0, Acc: acc})
+			sink.Emit(obs.Event{Kind: obs.KindTiming, Phase: "eval", Seconds: time.Since(start).Seconds(), N: 1})
+		}
+		return metrics.Summarize([]float64{acc}), nil
 	}
-	if w := cfg.workers(); w > 1 && cfg.Runs > 1 {
-		return evalDefectParallel(net, ds, psa, cfg, w)
+	if cfg.Workers > 1 && cfg.Runs > 1 {
+		return evalDefectParallel(ctx, net, ds, psa, cfg, start)
 	}
 	// Serial reference path: inject into the live network, evaluate,
 	// undo. The parallel path must match this bit for bit.
-	inj := fault.NewInjector(cfg.model(), WeightTensors(net))
+	inj := fault.NewInjector(cfg.Model, WeightTensors(net))
 	accs := make([]float64, 0, cfg.Runs)
 	for run := 0; run < cfg.Runs; run++ {
+		if err := ctx.Err(); err != nil {
+			return metrics.Summary{}, err
+		}
 		lesion := inj.InjectRun(cfg.Seed, run, psa)
-		accs = append(accs, metrics.Evaluate(net, ds, cfg.Batch))
+		acc := metrics.Evaluate(net, ds, cfg.Batch)
 		lesion.Undo()
+		accs = append(accs, acc)
+		if sink.Enabled() {
+			sink.Emit(obs.Event{Kind: obs.KindEvalRun, Run: run + 1, Rate: psa, Acc: acc})
+		}
 	}
-	return metrics.Summarize(accs)
+	if sink.Enabled() {
+		sink.Emit(obs.Event{Kind: obs.KindTiming, Phase: "eval", Seconds: time.Since(start).Seconds(), N: cfg.Runs})
+	}
+	return metrics.Summarize(accs), nil
 }
 
-// evalDefectParallel fans the Monte-Carlo runs out over w workers.
-// Each worker owns one deep clone of the network (fault injection
-// mutates weights in place, and layers keep scratch buffers, so the
-// live network cannot be shared); run r draws from fault.RunRNG
+// evalDefectParallel fans the Monte-Carlo runs out over cfg.Workers
+// workers. Each worker owns one deep clone of the network (fault
+// injection mutates weights in place, and layers keep scratch buffers,
+// so the live network cannot be shared); run r draws from fault.RunRNG
 // (cfg.Seed, r) exactly as the serial loop does and stores its
 // accuracy at index r, so the Summary is computed over the identical
-// value sequence regardless of scheduling.
-func evalDefectParallel(net *nn.Network, ds *data.Dataset, psa float64, cfg DefectEval, w int) metrics.Summary {
+// value sequence regardless of scheduling. On cancellation the
+// dispatcher stops handing out runs, the workers drain and finish
+// their clones (the live network was never touched), and the zero
+// Summary plus ctx's error is returned.
+func evalDefectParallel(ctx context.Context, net *nn.Network, ds *data.Dataset, psa float64, cfg DefectEval, start time.Time) (metrics.Summary, error) {
+	w := cfg.Workers
 	if w > cfg.Runs {
 		w = cfg.Runs
 	}
+	sink := cfg.Sink
 	accs := make([]float64, cfg.Runs)
 	jobs := make(chan int)
 	var wg sync.WaitGroup
@@ -97,20 +160,38 @@ func evalDefectParallel(net *nn.Network, ds *data.Dataset, psa float64, cfg Defe
 		go func() {
 			defer wg.Done()
 			clone := net.Clone()
-			inj := fault.NewInjector(cfg.model(), WeightTensors(clone))
+			inj := fault.NewInjector(cfg.Model, WeightTensors(clone))
 			for run := range jobs {
+				if ctx.Err() != nil {
+					continue // drain without evaluating
+				}
 				lesion := inj.InjectRun(cfg.Seed, run, psa)
-				accs[run] = metrics.Evaluate(clone, ds, cfg.Batch)
+				acc := metrics.Evaluate(clone, ds, cfg.Batch)
 				lesion.Undo()
+				accs[run] = acc
+				if sink.Enabled() {
+					sink.Emit(obs.Event{Kind: obs.KindEvalRun, Run: run + 1, Rate: psa, Acc: acc})
+				}
 			}
 		}()
 	}
+dispatch:
 	for run := 0; run < cfg.Runs; run++ {
-		jobs <- run
+		select {
+		case jobs <- run:
+		case <-ctx.Done():
+			break dispatch
+		}
 	}
 	close(jobs)
 	wg.Wait()
-	return metrics.Summarize(accs)
+	if err := ctx.Err(); err != nil {
+		return metrics.Summary{}, err
+	}
+	if sink.Enabled() {
+		sink.Emit(obs.Event{Kind: obs.KindTiming, Phase: "eval", Seconds: time.Since(start).Seconds(), N: cfg.Runs})
+	}
+	return metrics.Summarize(accs), nil
 }
 
 // EvalDefectSweep evaluates the model across a list of testing fault
@@ -118,14 +199,26 @@ func evalDefectParallel(net *nn.Network, ds *data.Dataset, psa float64, cfg Defe
 // Each rate's Monte-Carlo loop is parallelized by EvalDefect (rates
 // keep their independent derived seeds, so the sweep is bit-identical
 // at any cfg.Workers).
-func EvalDefectSweep(net *nn.Network, ds *data.Dataset, rates []float64, cfg DefectEval) []metrics.Summary {
-	out := make([]metrics.Summary, len(rates))
+//
+// On cancellation the summaries of the rates completed so far are
+// returned together with ctx's error; the in-flight rate is dropped.
+func EvalDefectSweep(ctx context.Context, net *nn.Network, ds *data.Dataset, rates []float64, cfg DefectEval) ([]metrics.Summary, error) {
+	cfg = cfg.Normalize()
+	sink := cfg.Sink
+	out := make([]metrics.Summary, 0, len(rates))
 	for i, r := range rates {
 		c := cfg
 		c.Seed = cfg.Seed + uint64(i)*7_919
-		out[i] = EvalDefect(net, ds, r, c)
+		s, err := EvalDefect(ctx, net, ds, r, c)
+		if err != nil {
+			return out, err
+		}
+		out = append(out, s)
+		if sink.Enabled() {
+			sink.Emit(obs.Event{Kind: obs.KindEvalRate, Rate: r, Acc: s.Mean, N: s.N})
+		}
 	}
-	return out
+	return out, nil
 }
 
 // EvalOnDevice deploys the network onto one fixed defective device and
@@ -150,8 +243,10 @@ type StabilityReport struct {
 // network. accPretrain is the ideal accuracy of the original pretrained
 // model the FT model was derived from. The per-rate defect runs are
 // parallelized by EvalDefect under cfg.Workers with bit-identical
-// results.
-func Stability(net *nn.Network, ds *data.Dataset, accPretrain float64, rates []float64, cfg DefectEval) StabilityReport {
+// results. On cancellation the partially filled report is returned
+// together with ctx's error.
+func Stability(ctx context.Context, net *nn.Network, ds *data.Dataset, accPretrain float64, rates []float64, cfg DefectEval) (StabilityReport, error) {
+	cfg = cfg.Normalize()
 	rep := StabilityReport{
 		AccPretrain: accPretrain,
 		AccRetrain:  EvalClean(net, ds, cfg.Batch),
@@ -160,9 +255,12 @@ func Stability(net *nn.Network, ds *data.Dataset, accPretrain float64, rates []f
 	for i, r := range rates {
 		c := cfg
 		c.Seed = cfg.Seed + uint64(i)*104_729
-		s := EvalDefect(net, ds, r, c)
+		s, err := EvalDefect(ctx, net, ds, r, c)
+		if err != nil {
+			return rep, err
+		}
 		rep.AccDefect = append(rep.AccDefect, s.Mean)
 		rep.SS = append(rep.SS, metrics.StabilityScore(rep.AccRetrain, accPretrain, s.Mean))
 	}
-	return rep
+	return rep, nil
 }

@@ -1,10 +1,12 @@
 package core
 
 import (
+	"context"
 	"sort"
 
 	"github.com/ftpim/ftpim/internal/data"
 	"github.com/ftpim/ftpim/internal/nn"
+	"github.com/ftpim/ftpim/internal/obs"
 )
 
 // PaperRates is the candidate stuck-at-rate list evaluated in the
@@ -40,38 +42,58 @@ func Ladder(target float64, maxRungs int) []float64 {
 // epoch budget at the fixed target rate Psa^T (Algorithm 1, first
 // branch). Batch-norm statistics are recalibrated on clean weights
 // afterwards (see RecalibrateBN).
-func OneShotFT(net *nn.Network, ds *data.Dataset, cfg Config, target float64) *Result {
+//
+// On cancellation the partial training Result and ctx's error are
+// returned; BN recalibration is skipped so the interrupted weights are
+// exactly what Train left behind.
+func OneShotFT(ctx context.Context, net *nn.Network, ds *data.Dataset, cfg Config, target float64) (*Result, error) {
 	cfg.FaultRate = target
-	res := Train(net, ds, cfg)
+	res, err := Train(ctx, net, ds, cfg)
+	if err != nil {
+		return res, err
+	}
 	RecalibrateBN(net, ds, cfg.Batch)
-	return res
+	return res, nil
 }
 
 // ProgressiveFT runs progressive stochastic fault-tolerant training
 // (Algorithm 1, second branch): the ladder is climbed rung by rung,
 // training epochsPerStage epochs at each rate. The LR schedule restarts
 // each stage, matching the paper's iterative retraining.
-func ProgressiveFT(net *nn.Network, ds *data.Dataset, cfg Config, ladder []float64, epochsPerStage int) *Result {
+//
+// One ft.stage event is emitted per rung. On cancellation the history
+// accumulated so far (including the interrupted stage's completed
+// epochs) and ctx's error are returned; BN recalibration is skipped.
+func ProgressiveFT(ctx context.Context, net *nn.Network, ds *data.Dataset, cfg Config, ladder []float64, epochsPerStage int) (*Result, error) {
 	if len(ladder) == 0 {
 		panic("core: empty progressive ladder")
 	}
 	if epochsPerStage <= 0 {
 		epochsPerStage = cfg.Epochs
 	}
+	sink := obs.Or(cfg.Sink)
 	total := &Result{}
 	for stage, rate := range ladder {
 		c := cfg
 		c.Epochs = epochsPerStage
 		c.FaultRate = rate
 		c.Seed = cfg.Seed + uint64(stage)*1_000_003
-		c.logf("progressive stage %d/%d: Psa=%g", stage+1, len(ladder), rate)
-		r := Train(net, ds, c)
+		if sink.Enabled() {
+			sink.Emit(obs.Event{
+				Kind: obs.KindFTStage, Stage: stage + 1,
+				Stages: len(ladder), Rate: rate,
+			})
+		}
+		r, err := Train(ctx, net, ds, c)
 		base := len(total.History)
 		for i, st := range r.History {
 			st.Epoch = base + i
 			total.History = append(total.History, st)
 		}
+		if err != nil {
+			return total, err
+		}
 	}
 	RecalibrateBN(net, ds, cfg.Batch)
-	return total
+	return total, nil
 }

@@ -4,16 +4,31 @@
 package core_test
 
 import (
+	"context"
 	"reflect"
 	"testing"
 
 	"github.com/ftpim/ftpim/internal/core"
 	"github.com/ftpim/ftpim/internal/data"
 	"github.com/ftpim/ftpim/internal/experiments"
+	"github.com/ftpim/ftpim/internal/metrics"
 	"github.com/ftpim/ftpim/internal/models"
 	"github.com/ftpim/ftpim/internal/nn"
 	"github.com/ftpim/ftpim/internal/tensor"
 )
+
+// ctxbg is the context for tests that never cancel.
+var ctxbg = context.Background()
+
+// evalD unwraps EvalDefect under a background context.
+func evalD(t *testing.T, net *nn.Network, ds *data.Dataset, psa float64, cfg core.DefectEval) metrics.Summary {
+	t.Helper()
+	s, err := core.EvalDefect(ctxbg, net, ds, psa, cfg)
+	if err != nil {
+		t.Fatalf("EvalDefect: %v", err)
+	}
+	return s
+}
 
 // presetFixture builds a preset-scale model and test set without
 // training: deterministic He-initialized weights are exactly as
@@ -39,11 +54,11 @@ func TestEvalDefectDeterminism(t *testing.T) {
 			net, test := presetFixture(t, preset)
 			base := core.DefectEval{Runs: 6, Batch: 32, Seed: 42, Workers: 1}
 			for _, psa := range []float64{0.005, 0.05, 0.2} {
-				want := core.EvalDefect(net, test, psa, base)
+				want := evalD(t, net, test, psa, base)
 				for _, w := range []int{2, 3, 8} {
 					cfg := base
 					cfg.Workers = w
-					got := core.EvalDefect(net, test, psa, cfg)
+					got := evalD(t, net, test, psa, cfg)
 					if got != want {
 						t.Fatalf("psa=%g workers=%d: %+v != serial %+v", psa, w, got, want)
 					}
@@ -67,8 +82,14 @@ func TestEvalDefectSweepDeterminism(t *testing.T) {
 			parallel := serial
 			parallel.Workers = 8
 
-			want := core.EvalDefectSweep(net, test, s.TestRates, serial)
-			got := core.EvalDefectSweep(net, test, s.TestRates, parallel)
+			want, err := core.EvalDefectSweep(ctxbg, net, test, s.TestRates, serial)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := core.EvalDefectSweep(ctxbg, net, test, s.TestRates, parallel)
+			if err != nil {
+				t.Fatal(err)
+			}
 			if !reflect.DeepEqual(got, want) {
 				t.Fatalf("sweep differs:\nserial   %+v\nparallel %+v", want, got)
 			}
@@ -97,8 +118,14 @@ func TestStabilityDeterminism(t *testing.T) {
 			serial := core.DefectEval{Runs: 5, Batch: 32, Seed: 7, Workers: 1}
 			parallel := serial
 			parallel.Workers = 8
-			want := core.Stability(net, test, accPre, s.SSRates, serial)
-			got := core.Stability(net, test, accPre, s.SSRates, parallel)
+			want, err := core.Stability(ctxbg, net, test, accPre, s.SSRates, serial)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := core.Stability(ctxbg, net, test, accPre, s.SSRates, parallel)
+			if err != nil {
+				t.Fatal(err)
+			}
 			if !reflect.DeepEqual(got, want) {
 				t.Fatalf("stability differs:\nserial   %+v\nparallel %+v", want, got)
 			}
@@ -110,8 +137,8 @@ func TestStabilityDeterminism(t *testing.T) {
 // the serial reference too — the default must not change results.
 func TestEvalDefectWorkersDefault(t *testing.T) {
 	net, test := presetFixture(t, "smoke")
-	serial := core.EvalDefect(net, test, 0.05, core.DefectEval{Runs: 4, Batch: 16, Seed: 9, Workers: 1})
-	auto := core.EvalDefect(net, test, 0.05, core.DefectEval{Runs: 4, Batch: 16, Seed: 9})
+	serial := evalD(t, net, test, 0.05, core.DefectEval{Runs: 4, Batch: 16, Seed: 9, Workers: 1})
+	auto := evalD(t, net, test, 0.05, core.DefectEval{Runs: 4, Batch: 16, Seed: 9})
 	if serial != auto {
 		t.Fatalf("Workers=0 (%+v) differs from serial (%+v)", auto, serial)
 	}
@@ -125,9 +152,9 @@ func TestEvalDefectKernelWorkersInvariance(t *testing.T) {
 	cfg := core.DefectEval{Runs: 4, Batch: 16, Seed: 3, Workers: 2}
 
 	old := tensor.SetWorkers(1)
-	want := core.EvalDefect(net, test, 0.02, cfg)
+	want := evalD(t, net, test, 0.02, cfg)
 	tensor.SetWorkers(8)
-	got := core.EvalDefect(net, test, 0.02, cfg)
+	got := evalD(t, net, test, 0.02, cfg)
 	tensor.SetWorkers(old)
 	if got != want {
 		t.Fatalf("kernel workers changed results: %+v != %+v", got, want)

@@ -12,7 +12,7 @@ import (
 func TestRecalibrateBNRestoresCleanStats(t *testing.T) {
 	train, test := testTask()
 	net := testModel(20)
-	Train(net, train, quickCfg())
+	mustTrain(t, net, train, quickCfg())
 	cleanAcc := metrics.Evaluate(net, test, 64)
 
 	// Pollute the BN running statistics.
@@ -37,7 +37,7 @@ func TestRecalibrateBNPreservesMomentum(t *testing.T) {
 	net := testModel(21)
 	cfg := quickCfg()
 	cfg.Epochs = 1
-	Train(net, train, cfg)
+	mustTrain(t, net, train, cfg)
 	want := net.BatchNorms()[0].Momentum
 	RecalibrateBN(net, train, 32)
 	if got := net.BatchNorms()[0].Momentum; got != want {
@@ -50,7 +50,7 @@ func TestRecalibrateBNDoesNotTouchWeights(t *testing.T) {
 	net := testModel(22)
 	cfg := quickCfg()
 	cfg.Epochs = 1
-	Train(net, train, cfg)
+	mustTrain(t, net, train, cfg)
 	w0 := net.Params()[0].W.Clone()
 	RecalibrateBN(net, train, 32)
 	if !net.Params()[0].W.Equal(w0) {
@@ -69,7 +69,7 @@ func TestRecalibrateBNStatsAreBatchAverages(t *testing.T) {
 	// be near zero mean per channel (stats match the data).
 	train, _ := testTask()
 	net := testModel(23)
-	Train(net, train, quickCfg())
+	mustTrain(t, net, train, quickCfg())
 	RecalibrateBN(net, train, 32)
 	bn := net.BatchNorms()[0]
 	for c := 0; c < bn.C; c++ {

@@ -14,14 +14,25 @@
 // accuracy over repeated random fault injections) and the
 // device-specific fault-aware retraining baseline the paper compares
 // against.
+//
+// Every long-running entry point (Train, OneShotFT, ProgressiveFT,
+// EvalDefect, EvalDefectSweep, Stability) takes a context.Context and
+// an observability sink: cancelling the context aborts the run at the
+// next batch or Monte-Carlo run boundary — weights are never left
+// mid-mutation — and structured run events stream to the configured
+// obs.Sink. Events observe, never perturb: results with any sink are
+// bit-identical to results with none, at every worker count.
 package core
 
 import (
+	"context"
 	"fmt"
+	"time"
 
 	"github.com/ftpim/ftpim/internal/data"
 	"github.com/ftpim/ftpim/internal/fault"
 	"github.com/ftpim/ftpim/internal/nn"
+	"github.com/ftpim/ftpim/internal/obs"
 	"github.com/ftpim/ftpim/internal/optim"
 	"github.com/ftpim/ftpim/internal/prune"
 	"github.com/ftpim/ftpim/internal/tensor"
@@ -64,20 +75,49 @@ type Config struct {
 	EvalDS   *data.Dataset
 	KeepBest bool
 
-	Logf func(format string, args ...any) // nil → silent
+	// Sink receives structured run events — train.epoch per epoch,
+	// ft.stage per progressive rung, timing at the end (nil → obs.Null).
+	// Events observe the run and never perturb its RNG or float
+	// streams, so results are identical with any sink attached.
+	Sink obs.Sink
 }
 
+// Normalize returns cfg with every optional zero-valued field resolved
+// to its documented default:
+//
+//   - Schedule nil → cosine annealing from LR over Epochs
+//   - ADMMInterval <= 0 → 3
+//   - FaultModel zero value → fault.ChenModel() (an explicitly set but
+//     degenerate model panics loudly instead of being remapped)
+//   - Sink nil → obs.Null
+//
+// Train applies Normalize internally; callers only need it to inspect
+// the effective configuration. Required fields (Epochs, Batch, LR) are
+// not defaulted — Train panics when they are invalid.
+func (c Config) Normalize() Config {
+	if c.Schedule == nil {
+		c.Schedule = optim.NewCosine(c.LR, c.Epochs)
+	}
+	if c.ADMMInterval <= 0 {
+		c.ADMMInterval = 3
+	}
+	c.FaultModel = c.model()
+	c.Sink = obs.Or(c.Sink)
+	return c
+}
+
+// model resolves the effective fault model: the zero value means
+// "unset" and yields the paper's ChenModel; an explicitly set model is
+// validated so a degenerate choice fails loudly here rather than
+// deep inside an injection pass.
 func (c Config) model() fault.Model {
-	if c.FaultModel.Ratio0 == 0 && c.FaultModel.Ratio1 == 0 {
+	if c.FaultModel.IsZero() {
 		return fault.ChenModel()
 	}
-	return c.FaultModel
-}
-
-func (c Config) logf(format string, args ...any) {
-	if c.Logf != nil {
-		c.Logf(format, args...)
+	if err := c.FaultModel.Validate(); err != nil {
+		panic("core: invalid Config.FaultModel: " + err.Error())
 	}
+	return c.FaultModel
 }
 
 // EpochStats records one epoch of training.
@@ -120,33 +160,35 @@ func WeightTensors(net *nn.Network) []*tensor.Tensor {
 // training (FaultRate 0), one-shot stochastic fault-tolerant training
 // (FaultRate > 0), device-pinned retraining (Pinned) and ADMM-penalized
 // training, which compose freely.
-func Train(net *nn.Network, ds *data.Dataset, cfg Config) *Result {
+//
+// Cancelling ctx aborts at the next mini-batch boundary — any injected
+// fault pattern has already been undone at that point, so the weights
+// hold a consistent (partially trained) state — and Train returns the
+// partial Result together with ctx's error. A nil error means the full
+// epoch budget ran.
+func Train(ctx context.Context, net *nn.Network, ds *data.Dataset, cfg Config) (*Result, error) {
 	if cfg.Epochs <= 0 || cfg.Batch <= 0 {
 		panic(fmt.Sprintf("core: invalid config epochs=%d batch=%d", cfg.Epochs, cfg.Batch))
 	}
 	if cfg.LR <= 0 {
 		panic("core: LR must be positive")
 	}
-	sched := cfg.Schedule
-	if sched == nil {
-		sched = optim.NewCosine(cfg.LR, cfg.Epochs)
-	}
-	admmInterval := cfg.ADMMInterval
-	if admmInterval <= 0 {
-		admmInterval = 3
-	}
+	cfg = cfg.Normalize()
+	sink := cfg.Sink
 
 	rng := tensor.NewRNG(cfg.Seed)
 	opt := optim.NewSGD(net.Params(), cfg.LR, cfg.Momentum, cfg.WeightDecay)
 	loader := data.NewLoader(ds, cfg.Batch, cfg.Aug, true, rng.Stream("shuffle"))
 	weights := WeightTensors(net)
 	faultRNG := rng.Stream("train-faults")
-	model := cfg.model()
+	model := cfg.FaultModel
 
+	start := time.Now()
+	samples := 0
 	res := &Result{}
 	var bestState []byte
 	for epoch := 0; epoch < cfg.Epochs; epoch++ {
-		opt.LR = sched.LR(epoch)
+		opt.LR = cfg.Schedule.LR(epoch)
 
 		// Per Algorithm 1 the fault pattern is redrawn each epoch and
 		// held fixed across the epoch's batches (unless PerBatch).
@@ -162,6 +204,9 @@ func Train(net *nn.Network, ds *data.Dataset, cfg Config) *Result {
 		var lossSum float64
 		var correct, seen, batches int
 		for step := 0; ; step++ {
+			if err := ctx.Err(); err != nil {
+				return res, err
+			}
 			x, y := loader.Next()
 			if x == nil {
 				break
@@ -195,9 +240,10 @@ func Train(net *nn.Network, ds *data.Dataset, cfg Config) *Result {
 			lossSum += loss
 			batches++
 		}
-		if cfg.ADMM != nil && (epoch+1)%admmInterval == 0 {
+		if cfg.ADMM != nil && (epoch+1)%cfg.ADMMInterval == 0 {
 			cfg.ADMM.UpdateDuals()
 		}
+		samples += seen
 		st := EpochStats{
 			Epoch:     epoch,
 			LR:        opt.LR,
@@ -219,14 +265,25 @@ func Train(net *nn.Network, ds *data.Dataset, cfg Config) *Result {
 			}
 		}
 		res.History = append(res.History, st)
-		cfg.logf("epoch %3d  lr %.4f  loss %.4f  acc %.4f  psa %g",
-			epoch, st.LR, st.Loss, st.TrainAcc, st.FaultRate)
+		if sink.Enabled() {
+			sink.Emit(obs.Event{
+				Kind: obs.KindTrainEpoch, Epoch: epoch + 1,
+				LR: st.LR, Loss: st.Loss, Acc: st.TrainAcc,
+				EvalAcc: st.EvalAcc, Rate: st.FaultRate,
+			})
+		}
 	}
 	if cfg.KeepBest && bestState != nil {
 		if err := net.Restore(bestState); err != nil {
 			panic(fmt.Sprintf("core: best-snapshot restore failed: %v", err))
 		}
-		cfg.logf("restored best epoch %d (eval acc %.4f)", res.BestEpoch, res.BestEvalAcc)
+		obs.Logf(sink, "restored best epoch %d (eval acc %.4f)", res.BestEpoch, res.BestEvalAcc)
 	}
-	return res
+	if sink.Enabled() {
+		sink.Emit(obs.Event{
+			Kind: obs.KindTiming, Phase: "train",
+			Seconds: time.Since(start).Seconds(), N: samples,
+		})
+	}
+	return res, nil
 }

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"github.com/ftpim/ftpim/internal/core"
@@ -22,16 +23,22 @@ type LadderAblationRow struct {
 
 // AblationLadder studies how the progressive ladder length affects the
 // final model at a fixed target rate (DESIGN.md A1). Rungs=1 is
-// one-shot training.
-func AblationLadder(e *Env, ds string, target float64, maxRungs int) []LadderAblationRow {
+// one-shot training. On cancellation the rows completed so far are
+// returned together with ctx's error.
+func AblationLadder(ctx context.Context, e *Env, ds string, target float64, maxRungs int) ([]LadderAblationRow, error) {
 	train, test := e.Dataset(ds)
 	ev := e.DefectEval()
 	var rows []LadderAblationRow
 	for rungs := 1; rungs <= maxRungs; rungs++ {
+		rungs := rungs
 		key := fmt.Sprintf("abl-ladder-%s-%g-%d", ds, target, rungs)
-		net := e.cached(key, func() *nn.Network { return e.buildModel(ds) },
-			func(net *nn.Network) {
-				mustRestore(net, e.Pretrained(ds))
+		net, err := e.cached(key, func() *nn.Network { return e.buildModel(ds) },
+			func(net *nn.Network) error {
+				base, err := e.Pretrained(ctx, ds)
+				if err != nil {
+					return err
+				}
+				mustRestore(net, base)
 				cfg := e.trainCfg(e.Scale.FTEpochs, e.Scale.FTLR, e.Scale.Seed+hash64(key))
 				ladder := core.Ladder(target, rungs)
 				// Split the same total budget across stages for a
@@ -40,16 +47,24 @@ func AblationLadder(e *Env, ds string, target float64, maxRungs int) []LadderAbl
 				if per < 1 {
 					per = 1
 				}
-				core.ProgressiveFT(net, train, cfg, ladder, per)
+				_, err = core.ProgressiveFT(ctx, net, train, cfg, ladder, per)
+				return err
 			})
+		if err != nil {
+			return rows, err
+		}
+		sum, err := core.EvalDefect(ctx, net, test, target, ev)
+		if err != nil {
+			return rows, err
+		}
 		rows = append(rows, LadderAblationRow{
 			Rungs:     rungs,
 			CleanAcc:  core.EvalClean(net, test, ev.Batch) * 100,
-			DefectAcc: core.EvalDefect(net, test, target, ev).Mean * 100,
+			DefectAcc: sum.Mean * 100,
 			Ladder:    core.Ladder(target, rungs),
 		})
 	}
-	return rows
+	return rows, nil
 }
 
 // ResampleAblationResult compares per-epoch vs per-batch fault
@@ -63,26 +78,42 @@ type ResampleAblationResult struct {
 }
 
 // AblationResample runs the A2 ablation at the given training rate.
-func AblationResample(e *Env, ds string, rate float64) ResampleAblationResult {
+func AblationResample(ctx context.Context, e *Env, ds string, rate float64) (ResampleAblationResult, error) {
 	train, test := e.Dataset(ds)
 	ev := e.DefectEval()
 	res := ResampleAblationResult{Rate: rate}
 
-	variant := func(perBatch bool) (clean, defect float64) {
+	variant := func(perBatch bool) (clean, defect float64, err error) {
 		key := fmt.Sprintf("abl-resample-%s-%g-%v", ds, rate, perBatch)
-		net := e.cached(key, func() *nn.Network { return e.buildModel(ds) },
-			func(net *nn.Network) {
-				mustRestore(net, e.Pretrained(ds))
+		net, err := e.cached(key, func() *nn.Network { return e.buildModel(ds) },
+			func(net *nn.Network) error {
+				base, err := e.Pretrained(ctx, ds)
+				if err != nil {
+					return err
+				}
+				mustRestore(net, base)
 				cfg := e.trainCfg(e.Scale.FTEpochs, e.Scale.FTLR, e.Scale.Seed+hash64(key))
 				cfg.PerBatch = perBatch
-				core.OneShotFT(net, train, cfg, rate)
+				_, err = core.OneShotFT(ctx, net, train, cfg, rate)
+				return err
 			})
-		return core.EvalClean(net, test, ev.Batch) * 100,
-			core.EvalDefect(net, test, rate, ev).Mean * 100
+		if err != nil {
+			return 0, 0, err
+		}
+		sum, err := core.EvalDefect(ctx, net, test, rate, ev)
+		if err != nil {
+			return 0, 0, err
+		}
+		return core.EvalClean(net, test, ev.Batch) * 100, sum.Mean * 100, nil
 	}
-	res.PerEpochCleanAcc, res.PerEpochDefectAcc = variant(false)
-	res.PerBatchCleanAcc, res.PerBatchDefectAcc = variant(true)
-	return res
+	var err error
+	if res.PerEpochCleanAcc, res.PerEpochDefectAcc, err = variant(false); err != nil {
+		return res, err
+	}
+	if res.PerBatchCleanAcc, res.PerBatchDefectAcc, err = variant(true); err != nil {
+		return res, err
+	}
+	return res, nil
 }
 
 // CrossbarAblationResult validates the weight-level fault model
@@ -98,13 +129,20 @@ type CrossbarAblationResult struct {
 // AblationCrossbar deploys the pretrained model on the circuit-level
 // crossbar simulator and compares defect accuracy under per-cell fault
 // maps with the fast weight-level model at the same rate.
-func AblationCrossbar(e *Env, ds string, psa float64, opts reram.MapOptions) CrossbarAblationResult {
+func AblationCrossbar(ctx context.Context, e *Env, ds string, psa float64, opts reram.MapOptions) (CrossbarAblationResult, error) {
 	_, test := e.Dataset(ds)
 	ev := e.DefectEval()
-	net := e.Pretrained(ds)
 	res := CrossbarAblationResult{Psa: psa}
+	net, err := e.Pretrained(ctx, ds)
+	if err != nil {
+		return res, err
+	}
 	res.CleanAcc = core.EvalClean(net, test, ev.Batch) * 100
-	res.WeightLevelAcc = core.EvalDefect(net, test, psa, ev).Mean * 100
+	sum, err := core.EvalDefect(ctx, net, test, psa, ev)
+	if err != nil {
+		return res, err
+	}
+	res.WeightLevelAcc = sum.Mean * 100
 
 	mn := reram.MapNetwork(net, opts)
 	undo := mn.ApplyEffectiveWeights()
@@ -114,6 +152,10 @@ func AblationCrossbar(e *Env, ds string, psa float64, opts reram.MapOptions) Cro
 	rng := tensor.NewRNG(ev.Seed).Stream("crossbar-ablation")
 	var accs []float64
 	for run := 0; run < ev.Runs; run++ {
+		if err := ctx.Err(); err != nil {
+			mn.ClearFaults()
+			return res, err
+		}
 		mn.ClearFaults()
 		mn.InjectFaults(rng.StreamN("run", run), fault.ChenModel(), psa)
 		u := mn.ApplyEffectiveWeights()
@@ -122,7 +164,7 @@ func AblationCrossbar(e *Env, ds string, psa float64, opts reram.MapOptions) Cro
 	}
 	mn.ClearFaults()
 	res.CircuitAcc = metrics.Summarize(accs).Mean * 100
-	return res
+	return res, nil
 }
 
 // LadderTable renders the A1 rows.

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"hash/fnv"
 	"os"
@@ -10,6 +11,7 @@ import (
 	"github.com/ftpim/ftpim/internal/data"
 	"github.com/ftpim/ftpim/internal/models"
 	"github.com/ftpim/ftpim/internal/nn"
+	"github.com/ftpim/ftpim/internal/obs"
 	"github.com/ftpim/ftpim/internal/prune"
 )
 
@@ -20,27 +22,34 @@ import (
 type Env struct {
 	Scale    Scale
 	CacheDir string
-	Logf     func(format string, args ...any)
+	// Sink receives every run event the environment's training and
+	// evaluation work emits, plus cache.hit/miss/write trace events
+	// (nil → obs.Null). Events never perturb results.
+	Sink obs.Sink
 
 	datasets map[string][2]*data.Dataset
 	nets     map[string]*nn.Network
 }
 
-// NewEnv creates an environment for the given preset.
-func NewEnv(preset, cacheDir string, logf func(string, ...any)) *Env {
+// NewEnv creates an environment for the given preset. sink may be nil
+// for a silent run; callers migrating from the old
+// `logf func(string, ...any)` parameter can wrap their closure with
+// obs.LogfSink.
+func NewEnv(preset, cacheDir string, sink obs.Sink) *Env {
 	return &Env{
 		Scale:    ScaleFor(preset),
 		CacheDir: cacheDir,
-		Logf:     logf,
+		Sink:     sink,
 		datasets: map[string][2]*data.Dataset{},
 		nets:     map[string]*nn.Network{},
 	}
 }
 
+// sink resolves the environment's sink (nil → obs.Null).
+func (e *Env) sink() obs.Sink { return obs.Or(e.Sink) }
+
 func (e *Env) logf(format string, args ...any) {
-	if e.Logf != nil {
-		e.Logf(format, args...)
-	}
+	obs.Logf(e.Sink, format, args...)
 }
 
 // Dataset returns the train/test split for "c10" or "c100". The
@@ -107,11 +116,14 @@ func (e *Env) scaleHash() uint64 {
 
 // cached returns the model registered under key, training it with
 // train() (starting from build()) on a miss. Disk cache is consulted
-// when CacheDir is set.
-func (e *Env) cached(key string, build func() *nn.Network, train func(net *nn.Network)) *nn.Network {
+// when CacheDir is set; writes go through a temp file + rename so an
+// interrupt mid-write can never leave a corrupt cache entry, and a
+// canceled training run is never cached at all.
+func (e *Env) cached(key string, build func() *nn.Network, train func(net *nn.Network) error) (*nn.Network, error) {
 	if net, ok := e.nets[key]; ok {
-		return net
+		return net, nil
 	}
+	sink := e.sink()
 	path := ""
 	if e.CacheDir != "" {
 		path = filepath.Join(e.CacheDir, fmt.Sprintf("%s-%016x.gob", key, e.scaleHash()))
@@ -120,28 +132,56 @@ func (e *Env) cached(key string, build func() *nn.Network, train func(net *nn.Ne
 			err = net.Load(f)
 			f.Close()
 			if err == nil {
-				e.logf("cache hit: %s", key)
+				if sink.Enabled() {
+					sink.Emit(obs.Event{Kind: obs.KindCacheHit, Key: key})
+				}
 				e.nets[key] = net
-				return net
+				return net, nil
 			}
 			e.logf("cache for %s unreadable (%v); retraining", key, err)
 		}
 	}
 	net := build()
-	e.logf("training %s ...", key)
-	train(net)
+	if sink.Enabled() {
+		sink.Emit(obs.Event{Kind: obs.KindCacheMiss, Key: key})
+	}
+	if err := train(net); err != nil {
+		return nil, err
+	}
 	e.nets[key] = net
 	if path != "" {
-		if err := os.MkdirAll(e.CacheDir, 0o755); err == nil {
-			if f, err := os.Create(path); err == nil {
-				if err := net.Save(f); err != nil {
-					e.logf("cache write for %s failed: %v", key, err)
-				}
-				f.Close()
-			}
-		}
+		e.writeCache(path, key, net)
 	}
-	return net
+	return net, nil
+}
+
+// writeCache persists net atomically: the gob is written to a temp
+// file in the cache directory and renamed into place only on success,
+// so readers never observe a truncated entry.
+func (e *Env) writeCache(path, key string, net *nn.Network) {
+	if err := os.MkdirAll(e.CacheDir, 0o755); err != nil {
+		return
+	}
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return
+	}
+	err = net.Save(f)
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err == nil {
+		err = os.Rename(tmp, path)
+	}
+	if err != nil {
+		e.logf("cache write for %s failed: %v", key, err)
+		os.Remove(tmp)
+		return
+	}
+	if s := e.sink(); s.Enabled() {
+		s.Emit(obs.Event{Kind: obs.KindCacheWrite, Key: key})
+	}
 }
 
 // trainCfg builds the shared training configuration.
@@ -150,82 +190,105 @@ func (e *Env) trainCfg(epochs int, lr float64, seed uint64) core.Config {
 	return core.Config{
 		Epochs: epochs, Batch: s.Batch,
 		LR: lr, Momentum: s.Momentum, WeightDecay: s.WeightDecay,
-		Aug: s.Aug, Seed: seed, Logf: e.Logf,
+		Aug: s.Aug, Seed: seed, Sink: e.Sink,
 	}
 }
 
 // Pretrained returns the baseline well-trained model for a dataset
 // (the Acc_pretrain model of Figure 1).
-func (e *Env) Pretrained(ds string) *nn.Network {
+func (e *Env) Pretrained(ctx context.Context, ds string) (*nn.Network, error) {
 	train, _ := e.Dataset(ds)
 	return e.cached("pretrain-"+ds, func() *nn.Network { return e.buildModel(ds) },
-		func(net *nn.Network) {
-			core.Train(net, train, e.trainCfg(e.Scale.PretrainEpochs, e.Scale.LR, e.Scale.Seed))
+		func(net *nn.Network) error {
+			_, err := core.Train(ctx, net, train, e.trainCfg(e.Scale.PretrainEpochs, e.Scale.LR, e.Scale.Seed))
+			return err
 		})
 }
 
 // OneShot returns the one-shot stochastic FT model retrained from the
 // pretrained baseline at training rate Psa^T.
-func (e *Env) OneShot(ds string, rate float64) *nn.Network {
+func (e *Env) OneShot(ctx context.Context, ds string, rate float64) (*nn.Network, error) {
 	train, _ := e.Dataset(ds)
 	key := fmt.Sprintf("oneshot-%s-%g", ds, rate)
 	return e.cached(key, func() *nn.Network { return e.buildModel(ds) },
-		func(net *nn.Network) {
-			mustRestore(net, e.Pretrained(ds))
+		func(net *nn.Network) error {
+			base, err := e.Pretrained(ctx, ds)
+			if err != nil {
+				return err
+			}
+			mustRestore(net, base)
 			cfg := e.trainCfg(e.Scale.FTEpochs, e.Scale.FTLR, e.Scale.Seed+hash64(key))
-			core.OneShotFT(net, train, cfg, rate)
+			_, err = core.OneShotFT(ctx, net, train, cfg, rate)
+			return err
 		})
 }
 
 // Progressive returns the progressive stochastic FT model retrained
 // from the pretrained baseline up the ladder ending at Psa^T.
-func (e *Env) Progressive(ds string, rate float64) *nn.Network {
+func (e *Env) Progressive(ctx context.Context, ds string, rate float64) (*nn.Network, error) {
 	train, _ := e.Dataset(ds)
 	key := fmt.Sprintf("prog-%s-%g", ds, rate)
 	return e.cached(key, func() *nn.Network { return e.buildModel(ds) },
-		func(net *nn.Network) {
-			mustRestore(net, e.Pretrained(ds))
+		func(net *nn.Network) error {
+			base, err := e.Pretrained(ctx, ds)
+			if err != nil {
+				return err
+			}
+			mustRestore(net, base)
 			cfg := e.trainCfg(e.Scale.FTEpochs, e.Scale.FTLR, e.Scale.Seed+hash64(key))
 			ladder := core.Ladder(rate, e.Scale.ProgRungs)
-			core.ProgressiveFT(net, train, cfg, ladder, e.Scale.ProgEpochsPerStage)
+			_, err = core.ProgressiveFT(ctx, net, train, cfg, ladder, e.Scale.ProgEpochsPerStage)
+			return err
 		})
 }
 
 // PrunedMagnitude returns the one-shot magnitude-pruned (and
 // fine-tuned) model at the given sparsity (Han et al. [27]).
-func (e *Env) PrunedMagnitude(ds string, sparsity float64) *nn.Network {
+func (e *Env) PrunedMagnitude(ctx context.Context, ds string, sparsity float64) (*nn.Network, error) {
 	train, _ := e.Dataset(ds)
 	key := fmt.Sprintf("mag-%s-%g", ds, sparsity)
 	return e.cached(key, func() *nn.Network { return e.buildModel(ds) },
-		func(net *nn.Network) {
-			mustRestore(net, e.Pretrained(ds))
+		func(net *nn.Network) error {
+			base, err := e.Pretrained(ctx, ds)
+			if err != nil {
+				return err
+			}
+			mustRestore(net, base)
 			prune.MagnitudePrune(net.WeightParams(), sparsity, false)
-			core.Train(net, train, e.trainCfg(e.Scale.FinetuneEpochs, e.Scale.FTLR, e.Scale.Seed+hash64(key)))
+			_, err = core.Train(ctx, net, train, e.trainCfg(e.Scale.FinetuneEpochs, e.Scale.FTLR, e.Scale.Seed+hash64(key)))
+			return err
 		})
 }
 
 // PrunedADMM returns the ADMM-pruned (and fine-tuned) model at the
 // given sparsity (Zhang et al. [12]).
-func (e *Env) PrunedADMM(ds string, sparsity float64) *nn.Network {
+func (e *Env) PrunedADMM(ctx context.Context, ds string, sparsity float64) (*nn.Network, error) {
 	train, _ := e.Dataset(ds)
 	key := fmt.Sprintf("admm-%s-%g", ds, sparsity)
 	return e.cached(key, func() *nn.Network { return e.buildModel(ds) },
-		func(net *nn.Network) {
-			mustRestore(net, e.Pretrained(ds))
+		func(net *nn.Network) error {
+			base, err := e.Pretrained(ctx, ds)
+			if err != nil {
+				return err
+			}
+			mustRestore(net, base)
 			admm := prune.NewADMM(net.WeightParams(), sparsity, e.Scale.ADMMRho)
 			cfg := e.trainCfg(e.Scale.ADMMEpochs, e.Scale.FTLR, e.Scale.Seed+hash64(key))
 			cfg.ADMM = admm
 			cfg.ADMMInterval = 2
-			core.Train(net, train, cfg)
+			if _, err := core.Train(ctx, net, train, cfg); err != nil {
+				return err
+			}
 			admm.Finalize()
-			core.Train(net, train, e.trainCfg(e.Scale.FinetuneEpochs, e.Scale.FTLR, e.Scale.Seed+hash64(key)+1))
+			_, err = core.Train(ctx, net, train, e.trainCfg(e.Scale.FinetuneEpochs, e.Scale.FTLR, e.Scale.Seed+hash64(key)+1))
+			return err
 		})
 }
 
 // PrunedFT returns the ADMM-pruned model after stochastic FT
 // retraining (one-shot or progressive) at the given rate — the
 // Table II lower section.
-func (e *Env) PrunedFT(ds string, sparsity, rate float64, progressive bool) *nn.Network {
+func (e *Env) PrunedFT(ctx context.Context, ds string, sparsity, rate float64, progressive bool) (*nn.Network, error) {
 	train, _ := e.Dataset(ds)
 	method := "os"
 	if progressive {
@@ -233,14 +296,19 @@ func (e *Env) PrunedFT(ds string, sparsity, rate float64, progressive bool) *nn.
 	}
 	key := fmt.Sprintf("admmft-%s-%g-%s-%g", ds, sparsity, method, rate)
 	return e.cached(key, func() *nn.Network { return e.buildModel(ds) },
-		func(net *nn.Network) {
-			mustRestore(net, e.PrunedADMM(ds, sparsity))
+		func(net *nn.Network) error {
+			base, err := e.PrunedADMM(ctx, ds, sparsity)
+			if err != nil {
+				return err
+			}
+			mustRestore(net, base)
 			cfg := e.trainCfg(e.Scale.FTEpochs, e.Scale.FTLR, e.Scale.Seed+hash64(key))
 			if progressive {
-				core.ProgressiveFT(net, train, cfg, core.Ladder(rate, e.Scale.ProgRungs), e.Scale.ProgEpochsPerStage)
+				_, err = core.ProgressiveFT(ctx, net, train, cfg, core.Ladder(rate, e.Scale.ProgRungs), e.Scale.ProgEpochsPerStage)
 			} else {
-				core.OneShotFT(net, train, cfg, rate)
+				_, err = core.OneShotFT(ctx, net, train, cfg, rate)
 			}
+			return err
 		})
 }
 
@@ -249,6 +317,7 @@ func (e *Env) DefectEval() core.DefectEval {
 	return core.DefectEval{
 		Runs: e.Scale.DefectRuns, Batch: 128,
 		Seed: e.Scale.Seed * 31, Workers: e.Scale.Workers,
+		Sink: e.Sink,
 	}
 }
 

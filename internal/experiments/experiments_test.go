@@ -1,17 +1,32 @@
 package experiments
 
 import (
+	"context"
 	"os"
 	"path/filepath"
 	"strings"
 	"testing"
 
+	"github.com/ftpim/ftpim/internal/nn"
 	"github.com/ftpim/ftpim/internal/reram"
 )
+
+// bg is the context for tests that never cancel.
+var bg = context.Background()
 
 func quickEnv(t *testing.T) *Env {
 	t.Helper()
 	return NewEnv("quick", "", nil)
+}
+
+// pretrained unwraps Env.Pretrained under a background context.
+func pretrained(t *testing.T, e *Env, ds string) *nn.Network {
+	t.Helper()
+	net, err := e.Pretrained(bg, ds)
+	if err != nil {
+		t.Fatalf("Pretrained: %v", err)
+	}
+	return net
 }
 
 func TestScaleForKnownPresets(t *testing.T) {
@@ -53,8 +68,12 @@ func TestDatasetCachedAndShaped(t *testing.T) {
 func TestPretrainedLearnsAboveChance(t *testing.T) {
 	e := quickEnv(t)
 	_, test := e.Dataset("c10")
-	net := e.Pretrained("c10")
-	acc := sweepAccs(e, "c10", net, e.DefectEval())[0] // rate 0
+	net := pretrained(t, e, "c10")
+	accs, err := sweepAccs(bg, e, "c10", net, e.DefectEval())
+	if err != nil {
+		t.Fatal(err)
+	}
+	acc := accs[0] // rate 0
 	chance := 100.0 / float64(test.Classes)
 	if acc < 3*chance {
 		t.Fatalf("pretrained accuracy %.1f%% not well above chance %.1f%%", acc, chance)
@@ -63,7 +82,7 @@ func TestPretrainedLearnsAboveChance(t *testing.T) {
 
 func TestPretrainedMemoized(t *testing.T) {
 	e := quickEnv(t)
-	if e.Pretrained("c10") != e.Pretrained("c10") {
+	if pretrained(t, e, "c10") != pretrained(t, e, "c10") {
 		t.Fatal("Pretrained must be memoized")
 	}
 }
@@ -71,13 +90,13 @@ func TestPretrainedMemoized(t *testing.T) {
 func TestDiskCacheRoundTrip(t *testing.T) {
 	dir := t.TempDir()
 	e1 := NewEnv("quick", dir, nil)
-	n1 := e1.Pretrained("c10")
+	n1 := pretrained(t, e1, "c10")
 	files, _ := filepath.Glob(filepath.Join(dir, "pretrain-c10-*.gob"))
 	if len(files) != 1 {
 		t.Fatalf("expected one cache file, got %v", files)
 	}
 	e2 := NewEnv("quick", dir, nil)
-	n2 := e2.Pretrained("c10")
+	n2 := pretrained(t, e2, "c10")
 	p1, p2 := n1.Params(), n2.Params()
 	for i := range p1 {
 		if !p1[i].W.Equal(p2[i].W) {
@@ -89,10 +108,10 @@ func TestDiskCacheRoundTrip(t *testing.T) {
 func TestDiskCacheInvalidatedByScaleChange(t *testing.T) {
 	dir := t.TempDir()
 	e1 := NewEnv("quick", dir, nil)
-	e1.Pretrained("c10")
+	pretrained(t, e1, "c10")
 	e2 := NewEnv("quick", dir, nil)
 	e2.Scale.Seed++ // any scale change must miss the cache
-	e2.Pretrained("c10")
+	pretrained(t, e2, "c10")
 	files, _ := filepath.Glob(filepath.Join(dir, "pretrain-c10-*.gob"))
 	if len(files) != 2 {
 		t.Fatalf("expected two distinct cache files, got %v", files)
@@ -102,20 +121,23 @@ func TestDiskCacheInvalidatedByScaleChange(t *testing.T) {
 func TestDiskCacheCorruptFileRetrains(t *testing.T) {
 	dir := t.TempDir()
 	e1 := NewEnv("quick", dir, nil)
-	e1.Pretrained("c10")
+	pretrained(t, e1, "c10")
 	files, _ := filepath.Glob(filepath.Join(dir, "pretrain-c10-*.gob"))
 	if err := os.WriteFile(files[0], []byte("garbage"), 0o644); err != nil {
 		t.Fatal(err)
 	}
 	e2 := NewEnv("quick", dir, nil)
-	if e2.Pretrained("c10") == nil {
+	if pretrained(t, e2, "c10") == nil {
 		t.Fatal("corrupt cache must retrain, not fail")
 	}
 }
 
 func TestTable1ShapeAndBaselineCollapse(t *testing.T) {
 	e := quickEnv(t)
-	res := Table1(e, "c10")
+	res, err := Table1(bg, e, "c10")
+	if err != nil {
+		t.Fatal(err)
+	}
 	wantRows := 1 + 2*len(e.Scale.TrainRates)
 	if len(res.Rows) != wantRows {
 		t.Fatalf("rows %d want %d", len(res.Rows), wantRows)
@@ -146,7 +168,10 @@ func TestTable1ShapeAndBaselineCollapse(t *testing.T) {
 
 func TestTable1Render(t *testing.T) {
 	e := quickEnv(t)
-	res := Table1(e, "c10")
+	res, err := Table1(bg, e, "c10")
+	if err != nil {
+		t.Fatal(err)
+	}
 	var sb strings.Builder
 	res.Table().Render(&sb)
 	out := sb.String()
@@ -160,7 +185,10 @@ func TestTable1Render(t *testing.T) {
 
 func TestFigure2ShapesAndPrunedFragility(t *testing.T) {
 	e := quickEnv(t)
-	res := Figure2(e, "c10")
+	res, err := Figure2(bg, e, "c10")
+	if err != nil {
+		t.Fatal(err)
+	}
 	want := 1 + 2*len(e.Scale.Sparsities)
 	if len(res.Series) != want {
 		t.Fatalf("series %d want %d", len(res.Series), want)
@@ -187,7 +215,10 @@ func TestFigure2ShapesAndPrunedFragility(t *testing.T) {
 
 func TestTable2ShapeAndFTDominance(t *testing.T) {
 	e := quickEnv(t)
-	res := Table2(e)
+	res, err := Table2(bg, e)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(res.Sections) != 2 {
 		t.Fatalf("sections %d", len(res.Sections))
 	}
@@ -230,7 +261,10 @@ func TestTable2ShapeAndFTDominance(t *testing.T) {
 
 func TestAblationLadderRows(t *testing.T) {
 	e := quickEnv(t)
-	rows := AblationLadder(e, "c10", 0.1, 2)
+	rows, err := AblationLadder(bg, e, "c10", 0.1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(rows) != 2 {
 		t.Fatalf("rows %d", len(rows))
 	}
@@ -249,7 +283,10 @@ func TestAblationLadderRows(t *testing.T) {
 
 func TestAblationResample(t *testing.T) {
 	e := quickEnv(t)
-	res := AblationResample(e, "c10", 0.1)
+	res, err := AblationResample(bg, e, "c10", 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
 	for _, v := range []float64{res.PerEpochCleanAcc, res.PerBatchCleanAcc, res.PerEpochDefectAcc, res.PerBatchDefectAcc} {
 		if v < 0 || v > 100 {
 			t.Fatalf("out of range: %+v", res)
@@ -260,7 +297,10 @@ func TestAblationResample(t *testing.T) {
 func TestAblationCrossbarConsistency(t *testing.T) {
 	e := quickEnv(t)
 	opts := reram.MapOptions{TileRows: 32, TileCols: 32, Levels: 0, Gmin: 0.1, Gmax: 10}
-	res := AblationCrossbar(e, "c10", 0.05, opts)
+	res, err := AblationCrossbar(bg, e, "c10", 0.05, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
 	// Continuous, fault-free mapping must match digital accuracy.
 	if diff := res.QuantizedAcc - res.CleanAcc; diff > 1 || diff < -1 {
 		t.Fatalf("analog fault-free accuracy %.2f vs digital %.2f", res.QuantizedAcc, res.CleanAcc)

@@ -1,9 +1,11 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
+	"github.com/ftpim/ftpim/internal/nn"
 	"github.com/ftpim/ftpim/internal/report"
 )
 
@@ -19,23 +21,47 @@ type Figure2Result struct {
 // Figure2 evaluates the dense pretrained model plus one-shot-pruned and
 // ADMM-pruned variants at every configured sparsity, without any
 // fault-tolerant training — the paper's Figure 2 for one dataset.
-func Figure2(e *Env, ds string) *Figure2Result {
+// On cancellation the series completed so far are returned together
+// with ctx's error.
+func Figure2(ctx context.Context, e *Env, ds string) (*Figure2Result, error) {
 	ev := e.DefectEval()
 	res := &Figure2Result{Dataset: ds, TestRates: e.Scale.TestRates}
 
-	add := func(name string, accs []float64) {
+	add := func(name string, net *nn.Network) error {
+		accs, err := sweepAccs(ctx, e, ds, net, ev)
+		if err != nil {
+			return err
+		}
 		res.Series = append(res.Series, report.Series{Name: name, X: e.Scale.TestRates, Y: accs})
+		return nil
 	}
 
 	e.logf("figure2[%s]: dense", ds)
-	add("dense", sweepAccs(e, ds, e.Pretrained(ds), ev))
+	dense, err := e.Pretrained(ctx, ds)
+	if err != nil {
+		return res, err
+	}
+	if err := add("dense", dense); err != nil {
+		return res, err
+	}
 	for _, sp := range e.Scale.Sparsities {
 		e.logf("figure2[%s]: one-shot pruned %.0f%%", ds, sp*100)
-		add(fmt.Sprintf("oneshot-pruned-%.0f%%", sp*100), sweepAccs(e, ds, e.PrunedMagnitude(ds, sp), ev))
+		net, err := e.PrunedMagnitude(ctx, ds, sp)
+		if err != nil {
+			return res, err
+		}
+		if err := add(fmt.Sprintf("oneshot-pruned-%.0f%%", sp*100), net); err != nil {
+			return res, err
+		}
 		e.logf("figure2[%s]: ADMM pruned %.0f%%", ds, sp*100)
-		add(fmt.Sprintf("admm-pruned-%.0f%%", sp*100), sweepAccs(e, ds, e.PrunedADMM(ds, sp), ev))
+		if net, err = e.PrunedADMM(ctx, ds, sp); err != nil {
+			return res, err
+		}
+		if err := add(fmt.Sprintf("admm-pruned-%.0f%%", sp*100), net); err != nil {
+			return res, err
+		}
 	}
-	return res
+	return res, nil
 }
 
 // AccAt returns series s's accuracy (percent) at testing-rate index i.

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"github.com/ftpim/ftpim/internal/core"
@@ -27,45 +28,70 @@ type Table1Result struct {
 // Table1 trains (or loads) the baseline plus a one-shot and a
 // progressive FT model per training rate and sweeps them across the
 // testing fault rates — the full Table I protocol for one dataset.
-func Table1(e *Env, ds string) *Table1Result {
+// On cancellation the partial result built so far is returned together
+// with ctx's error.
+func Table1(ctx context.Context, e *Env, ds string) (*Table1Result, error) {
 	_, test := e.Dataset(ds)
 	ev := e.DefectEval()
 
 	res := &Table1Result{Dataset: ds, TestRates: e.Scale.TestRates}
-	base := e.Pretrained(ds)
+	base, err := e.Pretrained(ctx, ds)
+	if err != nil {
+		return res, err
+	}
 	res.PretrainAcc = core.EvalClean(base, test, ev.Batch)
 
 	e.logf("table1[%s]: evaluating baseline", ds)
+	accs, err := sweepAccs(ctx, e, ds, base, ev)
+	if err != nil {
+		return res, err
+	}
 	res.Rows = append(res.Rows, Table1Row{
 		Label: "Baseline Pretrained Model", Method: "baseline",
-		Accs: sweepAccs(e, ds, base, ev),
+		Accs: accs,
 	})
 	for _, rate := range e.Scale.TrainRates {
 		e.logf("table1[%s]: Psa^T=%g one-shot", ds, rate)
+		net, err := e.OneShot(ctx, ds, rate)
+		if err != nil {
+			return res, err
+		}
+		if accs, err = sweepAccs(ctx, e, ds, net, ev); err != nil {
+			return res, err
+		}
 		res.Rows = append(res.Rows, Table1Row{
 			Label:  fmt.Sprintf("One-Shot Psa^T=%g", rate),
 			Method: "oneshot", TrainRate: rate,
-			Accs: sweepAccs(e, ds, e.OneShot(ds, rate), ev),
+			Accs: accs,
 		})
 		e.logf("table1[%s]: Psa^T=%g progressive", ds, rate)
+		if net, err = e.Progressive(ctx, ds, rate); err != nil {
+			return res, err
+		}
+		if accs, err = sweepAccs(ctx, e, ds, net, ev); err != nil {
+			return res, err
+		}
 		res.Rows = append(res.Rows, Table1Row{
 			Label:  fmt.Sprintf("Progressive Psa^T=%g", rate),
 			Method: "progressive", TrainRate: rate,
-			Accs: sweepAccs(e, ds, e.Progressive(ds, rate), ev),
+			Accs: accs,
 		})
 	}
-	return res
+	return res, nil
 }
 
 // sweepAccs evaluates a model across the testing rates (in percent).
-func sweepAccs(e *Env, ds string, net *nn.Network, ev core.DefectEval) []float64 {
+func sweepAccs(ctx context.Context, e *Env, ds string, net *nn.Network, ev core.DefectEval) ([]float64, error) {
 	_, test := e.Dataset(ds)
-	sums := core.EvalDefectSweep(net, test, e.Scale.TestRates, ev)
+	sums, err := core.EvalDefectSweep(ctx, net, test, e.Scale.TestRates, ev)
+	if err != nil {
+		return nil, err
+	}
 	accs := make([]float64, len(sums))
 	for i, s := range sums {
 		accs[i] = s.Mean * 100
 	}
-	return accs
+	return accs, nil
 }
 
 // Table renders the result in the paper's layout, highlighting the

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"github.com/ftpim/ftpim/internal/core"
@@ -38,8 +39,9 @@ type Table2Result struct {
 var table2FTRates = []float64{0.01, 0.05, 0.1}
 
 // Table2 runs the full Table II protocol on the 100-class task with
-// the highest configured sparsity (70% in the paper).
-func Table2(e *Env) *Table2Result {
+// the highest configured sparsity (70% in the paper). On cancellation
+// the sections completed so far are returned together with ctx's error.
+func Table2(ctx context.Context, e *Env) (*Table2Result, error) {
 	ds := "c100"
 	_, test := e.Dataset(ds)
 	ev := e.DefectEval()
@@ -47,8 +49,11 @@ func Table2(e *Env) *Table2Result {
 
 	res := &Table2Result{Dataset: ds, Sparsity: sparsity, SSRates: e.Scale.SSRates}
 
-	makeRow := func(label string, net *nn.Network, accPre float64) Table2Row {
-		rep := core.Stability(net, test, accPre, e.Scale.SSRates, ev)
+	makeRow := func(label string, net *nn.Network, accPre float64) (Table2Row, error) {
+		rep, err := core.Stability(ctx, net, test, accPre, e.Scale.SSRates, ev)
+		if err != nil {
+			return Table2Row{}, err
+		}
 		row := Table2Row{
 			Label:       label,
 			AccPretrain: accPre * 100,
@@ -59,40 +64,75 @@ func Table2(e *Env) *Table2Result {
 			// SS is unit-free; recompute on percent to match the paper.
 			row.SS = append(row.SS, rep.SS[i])
 		}
-		return row
+		return row, nil
+	}
+
+	// addRows builds one section from a base accuracy plus a list of
+	// (label, model-getter) pairs, stopping at the first error.
+	type variant struct {
+		label string
+		net   func() (*nn.Network, error)
+	}
+	addRows := func(title string, accPre float64, variants []variant) error {
+		sec := Table2Section{Title: title}
+		for _, v := range variants {
+			net, err := v.net()
+			if err != nil {
+				return err
+			}
+			row, err := makeRow(v.label, net, accPre)
+			if err != nil {
+				return err
+			}
+			sec.Rows = append(sec.Rows, row)
+		}
+		res.Sections = append(res.Sections, sec)
+		return nil
 	}
 
 	// Section 1: FT models derived from the dense pretrained model.
-	base := e.Pretrained(ds)
+	base, err := e.Pretrained(ctx, ds)
+	if err != nil {
+		return res, err
+	}
 	accPre := core.EvalClean(base, test, ev.Batch)
-	sec1 := Table2Section{Title: fmt.Sprintf("Pretrained backbone (accuracy = %.2f%%)", accPre*100)}
-	sec1.Rows = append(sec1.Rows, makeRow("Baseline (no FT)", base, accPre))
+	vars1 := []variant{{"Baseline (no FT)", func() (*nn.Network, error) { return base, nil }}}
 	for _, rate := range table2FTRates {
-		sec1.Rows = append(sec1.Rows,
-			makeRow(fmt.Sprintf("One-Shot Psa^T=%g", rate), e.OneShot(ds, rate), accPre))
+		rate := rate
+		vars1 = append(vars1, variant{fmt.Sprintf("One-Shot Psa^T=%g", rate),
+			func() (*nn.Network, error) { return e.OneShot(ctx, ds, rate) }})
 	}
 	for _, rate := range table2FTRates {
-		sec1.Rows = append(sec1.Rows,
-			makeRow(fmt.Sprintf("Progressive Psa^T=%g", rate), e.Progressive(ds, rate), accPre))
+		rate := rate
+		vars1 = append(vars1, variant{fmt.Sprintf("Progressive Psa^T=%g", rate),
+			func() (*nn.Network, error) { return e.Progressive(ctx, ds, rate) }})
 	}
-	res.Sections = append(res.Sections, sec1)
+	if err := addRows(fmt.Sprintf("Pretrained backbone (accuracy = %.2f%%)", accPre*100), accPre, vars1); err != nil {
+		return res, err
+	}
 
 	// Section 2: FT models derived from the ADMM-pruned model.
-	pruned := e.PrunedADMM(ds, sparsity)
+	pruned, err := e.PrunedADMM(ctx, ds, sparsity)
+	if err != nil {
+		return res, err
+	}
 	accPruned := core.EvalClean(pruned, test, ev.Batch)
-	sec2 := Table2Section{Title: fmt.Sprintf("ADMM-pruned backbone, %.0f%% sparsity (accuracy = %.2f%%)",
-		sparsity*100, accPruned*100)}
-	sec2.Rows = append(sec2.Rows, makeRow("Baseline pruned (no FT)", pruned, accPruned))
+	vars2 := []variant{{"Baseline pruned (no FT)", func() (*nn.Network, error) { return pruned, nil }}}
 	for _, rate := range table2FTRates {
-		sec2.Rows = append(sec2.Rows,
-			makeRow(fmt.Sprintf("One-Shot Psa^T=%g", rate), e.PrunedFT(ds, sparsity, rate, false), accPruned))
+		rate := rate
+		vars2 = append(vars2, variant{fmt.Sprintf("One-Shot Psa^T=%g", rate),
+			func() (*nn.Network, error) { return e.PrunedFT(ctx, ds, sparsity, rate, false) }})
 	}
 	for _, rate := range table2FTRates {
-		sec2.Rows = append(sec2.Rows,
-			makeRow(fmt.Sprintf("Progressive Psa^T=%g", rate), e.PrunedFT(ds, sparsity, rate, true), accPruned))
+		rate := rate
+		vars2 = append(vars2, variant{fmt.Sprintf("Progressive Psa^T=%g", rate),
+			func() (*nn.Network, error) { return e.PrunedFT(ctx, ds, sparsity, rate, true) }})
 	}
-	res.Sections = append(res.Sections, sec2)
-	return res
+	if err := addRows(fmt.Sprintf("ADMM-pruned backbone, %.0f%% sparsity (accuracy = %.2f%%)",
+		sparsity*100, accPruned*100), accPruned, vars2); err != nil {
+		return res, err
+	}
+	return res, nil
 }
 
 // Table renders the result in the paper's Table II layout.

@@ -15,6 +15,7 @@ package fault
 
 import (
 	"fmt"
+	"math"
 
 	"github.com/ftpim/ftpim/internal/tensor"
 )
@@ -45,6 +46,32 @@ type Model struct {
 // ChenModel returns the fault mix measured by Chen et al. [23] and
 // adopted by the paper: Psa0 : Psa1 = 1.75 : 9.04.
 func ChenModel() Model { return Model{Ratio0: 1.75, Ratio1: 9.04} }
+
+// IsZero reports whether m is the zero value, i.e. no model was
+// chosen. Configuration structs (core.Config, core.DefectEval) resolve
+// a zero model to ChenModel(); any explicitly set model — including a
+// half-zero one like {Ratio0: 1, Ratio1: 0} — is used as given and
+// must pass Validate.
+func (m Model) IsZero() bool { return m == Model{} }
+
+// Validate checks that an explicitly set (non-zero) model is usable:
+// both ratios must be finite and non-negative, and their sum positive.
+// A model with exactly one zero ratio is valid — it means all faults
+// are of the other kind. Callers resolving defaults should check
+// IsZero first; a zero model is "unset", not invalid.
+func (m Model) Validate() error {
+	if math.IsNaN(m.Ratio0) || math.IsNaN(m.Ratio1) ||
+		math.IsInf(m.Ratio0, 0) || math.IsInf(m.Ratio1, 0) {
+		return fmt.Errorf("fault: non-finite ratio in model %+v", m)
+	}
+	if m.Ratio0 < 0 || m.Ratio1 < 0 {
+		return fmt.Errorf("fault: negative ratio in model %+v", m)
+	}
+	if m.Ratio0+m.Ratio1 <= 0 {
+		return fmt.Errorf("fault: degenerate model %+v (ratios sum to zero)", m)
+	}
+	return nil
+}
 
 // Uniform returns a model with equal SA0/SA1 probability, used by
 // ablations.

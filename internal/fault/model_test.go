@@ -1,0 +1,48 @@
+package fault
+
+import (
+	"math"
+	"testing"
+)
+
+func TestModelIsZero(t *testing.T) {
+	if !(Model{}).IsZero() {
+		t.Fatal("zero value must report IsZero")
+	}
+	for _, m := range []Model{
+		ChenModel(),
+		{Ratio0: 1},
+		{Ratio1: 1},
+		{Ratio0: -1, Ratio1: 2},
+	} {
+		if m.IsZero() {
+			t.Fatalf("%+v must not report IsZero", m)
+		}
+	}
+}
+
+func TestModelValidate(t *testing.T) {
+	valid := []Model{
+		ChenModel(),
+		{Ratio0: 1, Ratio1: 0}, // all faults of one kind is a legal choice
+		{Ratio0: 0, Ratio1: 3},
+		{Ratio0: 0.5, Ratio1: 0.5},
+	}
+	for _, m := range valid {
+		if err := m.Validate(); err != nil {
+			t.Fatalf("%+v should validate, got %v", m, err)
+		}
+	}
+	invalid := []Model{
+		{},                        // degenerate: ratios sum to zero
+		{Ratio0: -1, Ratio1: 2},   // negative ratio
+		{Ratio0: 1, Ratio1: -0.5}, // negative ratio
+		{Ratio0: math.NaN(), Ratio1: 1},
+		{Ratio0: 1, Ratio1: math.Inf(1)},
+	}
+	for _, m := range invalid {
+		if err := m.Validate(); err == nil {
+			t.Fatalf("%+v should fail validation", m)
+		}
+	}
+}

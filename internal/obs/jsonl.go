@@ -1,0 +1,67 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"sync"
+	"time"
+)
+
+// SchemaVersion identifies the JSONL event schema. Every line written
+// by a JSONL sink carries it in a "schema" field; consumers must check
+// it before interpreting the rest of the record. Bump it on any
+// incompatible field change.
+const SchemaVersion = "ftpim.events/v1"
+
+// JSONL writes one schema-versioned JSON object per event to an
+// io.Writer — the machine-readable record behind the ftpim `-events`
+// flag. Lines are written atomically under a mutex, so one JSONL sink
+// may serve concurrent emitters.
+type JSONL struct {
+	mu  sync.Mutex
+	w   io.Writer
+	now func() time.Time
+}
+
+// NewJSONL returns a JSONL sink writing to w. Records are stamped with
+// wall-clock time; use SetClock to override (or disable) the clock.
+func NewJSONL(w io.Writer) *JSONL {
+	return &JSONL{w: w, now: time.Now}
+}
+
+// SetClock replaces the timestamp source. A nil clock omits the "t"
+// field entirely, which is what golden-file tests use to keep the
+// stream byte-deterministic.
+func (j *JSONL) SetClock(now func() time.Time) {
+	j.mu.Lock()
+	j.now = now
+	j.mu.Unlock()
+}
+
+// Enabled implements Sink.
+func (j *JSONL) Enabled() bool { return true }
+
+// jsonlRecord wraps an Event with the schema envelope. The embedded
+// Event flattens into the same JSON object.
+type jsonlRecord struct {
+	Schema string `json:"schema"`
+	T      string `json:"t,omitempty"`
+	Event
+}
+
+// Emit implements Sink. Marshalling failures are impossible for the
+// plain-value Event type; write errors are deliberately swallowed —
+// observability must never take down the run it observes.
+func (j *JSONL) Emit(e Event) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	rec := jsonlRecord{Schema: SchemaVersion, Event: e}
+	if j.now != nil {
+		rec.T = j.now().UTC().Format(time.RFC3339Nano)
+	}
+	b, err := json.Marshal(rec)
+	if err != nil {
+		return
+	}
+	j.w.Write(append(b, '\n'))
+}

@@ -1,0 +1,176 @@
+package obs
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestNullIsDisabledAndAllocationFree(t *testing.T) {
+	if Null.Enabled() {
+		t.Fatal("Null must report disabled")
+	}
+	Null.Emit(Event{Kind: KindLog, Msg: "dropped"}) // must not panic
+
+	// The disabled fast path must not allocate: Logf skips formatting
+	// and the variadic slice must not escape.
+	n := int(testing.AllocsPerRun(100, func() {
+		Logf(Null, "epoch %d loss %f", 3, 0.25)
+	}))
+	if n != 0 {
+		t.Fatalf("Logf on Null sink allocated %d times per call", n)
+	}
+}
+
+func TestOrResolvesNil(t *testing.T) {
+	if Or(nil) != Null {
+		t.Fatal("Or(nil) must be Null")
+	}
+	r := &Recorder{}
+	if Or(r) != Sink(r) {
+		t.Fatal("Or must pass a live sink through")
+	}
+}
+
+func TestLogfEmitsFormattedMessage(t *testing.T) {
+	r := &Recorder{}
+	Logf(r, "stage %d/%d", 2, 5)
+	evs := r.Events()
+	if len(evs) != 1 || evs[0].Kind != KindLog || evs[0].Msg != "stage 2/5" {
+		t.Fatalf("bad log event: %+v", evs)
+	}
+}
+
+func TestMultiFanOutAndCollapse(t *testing.T) {
+	if Multi() != Null {
+		t.Fatal("empty Multi must be Null")
+	}
+	if Multi(nil, Null) != Null {
+		t.Fatal("Multi of nothing live must be Null")
+	}
+	r := &Recorder{}
+	if Multi(nil, r, Null) != Sink(r) {
+		t.Fatal("single live sink must be returned unwrapped")
+	}
+	r2 := &Recorder{}
+	m := Multi(r, r2)
+	if !m.Enabled() {
+		t.Fatal("multi sink must be enabled")
+	}
+	m.Emit(Event{Kind: KindLog, Msg: "x"})
+	if r.Count("") != 1 || r2.Count("") != 1 {
+		t.Fatalf("fan-out wrong: %d, %d", r.Count(""), r2.Count(""))
+	}
+}
+
+func TestRecorderConcurrent(t *testing.T) {
+	r := &Recorder{}
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for j := 0; j < 100; j++ {
+				r.Emit(Event{Kind: KindEvalRun, Run: i*100 + j + 1})
+			}
+		}(i)
+	}
+	wg.Wait()
+	if got := r.Count(KindEvalRun); got != 800 {
+		t.Fatalf("recorded %d events, want 800", got)
+	}
+}
+
+func TestJSONLSchemaVersionedAndParseable(t *testing.T) {
+	var buf bytes.Buffer
+	j := NewJSONL(&buf)
+	j.SetClock(func() time.Time { return time.Date(2026, 8, 5, 12, 0, 0, 0, time.UTC) })
+	j.Emit(Event{Kind: KindTrainEpoch, Epoch: 1, LR: 0.1, Loss: 2.5, Acc: 0.3, Rate: 0.05})
+	j.Emit(Event{Kind: KindEvalRun, Run: 3, Rate: 0.01, Acc: 0.91})
+	j.Emit(Event{Kind: KindCacheHit, Key: "pretrain-c10"})
+
+	sc := bufio.NewScanner(&buf)
+	lines := 0
+	for sc.Scan() {
+		lines++
+		var rec map[string]any
+		if err := json.Unmarshal(sc.Bytes(), &rec); err != nil {
+			t.Fatalf("line %d does not parse: %v\n%s", lines, err, sc.Text())
+		}
+		if rec["schema"] != SchemaVersion {
+			t.Fatalf("line %d missing schema field: %s", lines, sc.Text())
+		}
+		if rec["t"] != "2026-08-05T12:00:00Z" {
+			t.Fatalf("line %d bad timestamp: %s", lines, sc.Text())
+		}
+		if rec["kind"] == "" {
+			t.Fatalf("line %d missing kind: %s", lines, sc.Text())
+		}
+	}
+	if lines != 3 {
+		t.Fatalf("wrote %d lines, want 3", lines)
+	}
+}
+
+func TestJSONLNilClockOmitsTimestamp(t *testing.T) {
+	var buf bytes.Buffer
+	j := NewJSONL(&buf)
+	j.SetClock(nil)
+	j.Emit(Event{Kind: KindLog, Msg: "m"})
+	if strings.Contains(buf.String(), `"t"`) {
+		t.Fatalf("timestamp present with nil clock: %s", buf.String())
+	}
+}
+
+func TestProgressSuppressesEvalRuns(t *testing.T) {
+	var buf bytes.Buffer
+	p := NewProgress(&buf)
+	p.Emit(Event{Kind: KindEvalRun, Run: 1, Rate: 0.1, Acc: 0.5})
+	p.Emit(Event{Kind: KindLog, Msg: "visible"})
+	out := buf.String()
+	if strings.Contains(out, "eval run") || !strings.Contains(out, "visible") {
+		t.Fatalf("progress filter wrong:\n%s", out)
+	}
+}
+
+func TestLogfSinkAdapter(t *testing.T) {
+	if LogfSink(nil) != Null {
+		t.Fatal("nil logf must adapt to Null")
+	}
+	var got []string
+	s := LogfSink(func(format string, args ...any) {
+		got = append(got, fmt.Sprintf(format, args...))
+	})
+	if !s.Enabled() {
+		t.Fatal("adapter must be enabled")
+	}
+	s.Emit(Event{Kind: KindFTStage, Stage: 1, Stages: 3, Rate: 0.02})
+	s.Emit(Event{Kind: KindEvalRun, Run: 1}) // suppressed
+	if len(got) != 1 || !strings.Contains(got[0], "stage 1/3") {
+		t.Fatalf("adapter output wrong: %q", got)
+	}
+}
+
+func TestEventStringCoversKinds(t *testing.T) {
+	cases := []struct {
+		e    Event
+		want string
+	}{
+		{Event{Kind: KindLog, Msg: "hello"}, "hello"},
+		{Event{Kind: KindCacheMiss, Key: "k"}, "training k ..."},
+		{Event{Kind: KindCacheWrite, Key: "k"}, "cached: k"},
+		{Event{Kind: KindTiming, Phase: "train", Seconds: 2, N: 100}, "train: 2.00s (100 items, 50.0/s)"},
+		{Event{Kind: KindEvalRate, Rate: 0.1, Acc: 0.5, N: 8}, "defect eval @Psa=0.1: mean acc 0.5000 over 8 runs"},
+		{Event{Kind: "custom.kind"}, "custom.kind"},
+	}
+	for _, c := range cases {
+		if got := c.e.String(); got != c.want {
+			t.Fatalf("String(%+v) = %q, want %q", c.e, got, c.want)
+		}
+	}
+}

@@ -1,0 +1,59 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sync"
+)
+
+// progress renders events for a human watching a terminal. Per-run
+// evaluation events are suppressed — a full Table I sweep emits
+// thousands of them — while everything else prints one line.
+type progress struct {
+	mu sync.Mutex
+	w  io.Writer
+}
+
+// NewProgress returns the human progress renderer (normally attached
+// to stderr). It prints every event except the high-volume
+// KindEvalRun stream.
+func NewProgress(w io.Writer) Sink {
+	return &progress{w: w}
+}
+
+func (p *progress) Enabled() bool { return true }
+
+func (p *progress) Emit(e Event) {
+	if e.Kind == KindEvalRun {
+		return
+	}
+	p.mu.Lock()
+	fmt.Fprintln(p.w, e.String())
+	p.mu.Unlock()
+}
+
+// LogfSink adapts a printf-style closure to a Sink — the mechanical
+// migration path for callers of the old `logf func(string, ...any)`
+// parameters of core.Config and experiments.NewEnv. Events are
+// rendered with Event.String; like NewProgress it suppresses the
+// high-volume KindEvalRun stream, matching what the old logf plumbing
+// ever reported. A nil closure yields Null.
+func LogfSink(f func(format string, args ...any)) Sink {
+	if f == nil {
+		return Null
+	}
+	return logfSink{f: f}
+}
+
+type logfSink struct {
+	f func(string, ...any)
+}
+
+func (s logfSink) Enabled() bool { return true }
+
+func (s logfSink) Emit(e Event) {
+	if e.Kind == KindEvalRun {
+		return
+	}
+	s.f("%s", e.String())
+}

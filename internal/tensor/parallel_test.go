@@ -19,13 +19,13 @@ func withWorkers(n int, fn func()) {
 // m values that are not multiples of any plausible shard count.
 var matmulShapes = []struct{ m, k, n int }{
 	{1, 1, 1},
-	{1, 3, 7},   // m = 1: sharding must degrade to serial
-	{2, 1, 5},   // k = 1: pure tail loop
-	{3, 2, 4},   // k = 2
-	{5, 3, 9},   // k = 3: last sub-unroll tail
-	{4, 4, 4},   // exact unroll boundary
-	{7, 5, 3},   // k = 4+1 tail
-	{8, 17, 8},  // odd k above unroll
+	{1, 3, 7},    // m = 1: sharding must degrade to serial
+	{2, 1, 5},    // k = 1: pure tail loop
+	{3, 2, 4},    // k = 2
+	{5, 3, 9},    // k = 3: last sub-unroll tail
+	{4, 4, 4},    // exact unroll boundary
+	{7, 5, 3},    // k = 4+1 tail
+	{8, 17, 8},   // odd k above unroll
 	{13, 31, 29}, // primes: never a multiple of the shard count
 	{16, 64, 64},
 	{33, 37, 41}, // above matMulShardFlops with awkward row count
