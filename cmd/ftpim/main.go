@@ -27,6 +27,15 @@
 // boundary: partially trained models are not cached, the model cache is
 // never left with a truncated entry, and the process exits with status
 // 130.
+//
+// -checkpoint DIR enables crash-safe checkpointing: every training run
+// snapshots its full state (weights, optimizer velocity, BN statistics,
+// RNG cursor, epoch history) to DIR at epoch boundaries, every
+// -ckpt-every epochs, and Ctrl-C flushes the last boundary before the
+// process exits. Re-running the same command with -resume continues
+// from the newest intact checkpoint and produces bit-identical results
+// to the uninterrupted run; torn or bit-flipped checkpoint files fail
+// their checksums and fall back to the previous good snapshot.
 package main
 
 import (
@@ -39,9 +48,12 @@ import (
 	"os/signal"
 	"path/filepath"
 	"runtime"
+	"strconv"
 	"strings"
+	"sync/atomic"
 	"syscall"
 
+	"github.com/ftpim/ftpim/internal/ckpt"
 	"github.com/ftpim/ftpim/internal/core"
 	"github.com/ftpim/ftpim/internal/experiments"
 	"github.com/ftpim/ftpim/internal/fault"
@@ -81,9 +93,30 @@ func run() int {
 	events := fs.String("events", "", "write schema-versioned JSONL run events to FILE")
 	workers := fs.Int("workers", runtime.NumCPU(),
 		"worker goroutines for defect evaluation and sharded kernels (1 = serial legacy path; results are identical at any count)")
+	checkpoint := fs.String("checkpoint", "",
+		"crash-safe checkpoint directory: every training run snapshots its full state there (empty to disable)")
+	ckptEvery := fs.Int("ckpt-every", 1, "epochs between checkpoint writes")
+	resume := fs.Bool("resume", false,
+		"resume interrupted training runs from the newest intact checkpoint in -checkpoint")
 
 	if err := fs.Parse(args); err != nil {
 		return 2
+	}
+	// Validate flag combinations up front: a sweep that runs for hours
+	// must not discover an unusable flag value at its first write.
+	if *workers < 0 {
+		return usageErr("-workers must be >= 0, got %d", *workers)
+	}
+	if *ckptEvery < 1 {
+		return usageErr("-ckpt-every must be >= 1, got %d", *ckptEvery)
+	}
+	if *resume && *checkpoint == "" {
+		return usageErr("-resume requires -checkpoint DIR")
+	}
+	if *checkpoint != "" {
+		if err := probeWritableDir(*checkpoint); err != nil {
+			return usageErr("-checkpoint %s is not writable: %v", *checkpoint, err)
+		}
 	}
 
 	var sinks []obs.Sink
@@ -99,6 +132,9 @@ func run() int {
 		defer f.Close()
 		sinks = append(sinks, obs.NewJSONL(f))
 	}
+	if n := crashAfterFromEnv(); n > 0 {
+		sinks = append(sinks, newCrashAfterSink(n))
+	}
 	sink := obs.Multi(sinks...)
 
 	// SIGINT/SIGTERM cancel the context; every training batch and
@@ -110,6 +146,10 @@ func run() int {
 	tensor.SetWorkers(*workers)
 	env := experiments.NewEnv(*preset, *cache, sink)
 	env.Scale.Workers = *workers
+	if *checkpoint != "" {
+		env.Ckpt = ckpt.NewStore(*checkpoint, ckpt.DefaultKeep, *resume, sink)
+		env.CkptEvery = *ckptEvery
+	}
 
 	datasets := []string{"c10", "c100"}
 	switch *dataset {
@@ -255,7 +295,10 @@ func runDevice(ctx context.Context, env *experiments.Env, verb, dataset string, 
 		if err != nil {
 			return fmt.Errorf("load profile: %v", err)
 		}
-		acc := core.EvalOnDevice(net, test, dm, 128)
+		acc, err := core.EvalOnDevice(ctx, net, test, dm, 128)
+		if err != nil {
+			return err
+		}
 		fmt.Printf("golden model on this device: %.2f%%\n", acc*100)
 		if verb == "retrain" {
 			train, _ := env.Dataset(dataset)
@@ -264,6 +307,10 @@ func runDevice(ctx context.Context, env *experiments.Env, verb, dataset string, 
 				LR: env.Scale.FTLR, Momentum: env.Scale.Momentum,
 				WeightDecay: env.Scale.WeightDecay, Aug: env.Scale.Aug,
 				Seed: env.Scale.Seed + 97, Sink: env.Sink,
+			}
+			if env.Ckpt != nil {
+				cfg.Ckpt = env.Ckpt.Run("device-retrain-" + dataset)
+				cfg.CkptEvery = env.CkptEvery
 			}
 			copyNet, err := env.Pretrained(ctx, dataset) // retrain a copy via snapshot
 			if err != nil {
@@ -276,11 +323,17 @@ func runDevice(ctx context.Context, env *experiments.Env, verb, dataset string, 
 				}
 				return err
 			}
-			after := core.EvalOnDevice(copyNet, test, dm, 128)
+			after, aerr := core.EvalOnDevice(ctx, copyNet, test, dm, 128)
 			if err := copyNet.Restore(snap); err != nil {
 				return fmt.Errorf("restore golden model: %v", err)
 			}
+			if aerr != nil {
+				return aerr
+			}
 			fmt.Printf("after fault-aware retraining [5]:  %.2f%%\n", after*100)
+			if cfg.Ckpt != nil {
+				cfg.Ckpt.Clear() // retrain finished; its checkpoints are dead weight
+			}
 		}
 	default:
 		return fmt.Errorf("unknown device verb %q", verb)
@@ -368,6 +421,68 @@ func fail(format string, a ...any) int {
 	return 1
 }
 
+// usageErr reports a flag-validation failure with the usage exit code.
+func usageErr(format string, a ...any) int {
+	fmt.Fprintf(os.Stderr, "ftpim: "+format+"\n", a...)
+	return 2
+}
+
+// probeWritableDir verifies dir exists (creating it if needed) and
+// accepts writes, by round-tripping a probe file — the cheapest honest
+// answer to "will the first checkpoint write succeed?".
+func probeWritableDir(dir string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	f, err := os.CreateTemp(dir, ".probe-*")
+	if err != nil {
+		return err
+	}
+	name := f.Name()
+	f.Close()
+	return os.Remove(name)
+}
+
+// crashAfterFromEnv reads FTPIM_CRASH_AFTER_CKPT, the deterministic
+// kill switch used by the kill-and-resume CI leg: a positive integer N
+// makes the process die with SIGKILL's exit status right after the Nth
+// checkpoint reaches disk. Unset, empty, or non-positive disables it.
+func crashAfterFromEnv() int {
+	v := os.Getenv("FTPIM_CRASH_AFTER_CKPT")
+	if v == "" {
+		return 0
+	}
+	n, err := strconv.Atoi(v)
+	if err != nil || n < 1 {
+		fmt.Fprintf(os.Stderr, "ftpim: ignoring FTPIM_CRASH_AFTER_CKPT=%q (want a positive integer)\n", v)
+		return 0
+	}
+	return n
+}
+
+// crashAfterSink counts ckpt.save events and exits hard — no deferred
+// cleanup, exactly like a kill — when the quota is reached. It emulates
+// a crash at a reproducible training position, which a real SIGKILL
+// cannot do.
+type crashAfterSink struct {
+	left atomic.Int64
+}
+
+func newCrashAfterSink(n int) *crashAfterSink {
+	s := &crashAfterSink{}
+	s.left.Store(int64(n))
+	return s
+}
+
+func (s *crashAfterSink) Enabled() bool { return true }
+
+func (s *crashAfterSink) Emit(e obs.Event) {
+	if e.Kind == obs.KindCkptSave && s.left.Add(-1) == 0 {
+		fmt.Fprintln(os.Stderr, "ftpim: FTPIM_CRASH_AFTER_CKPT quota reached; simulating crash")
+		os.Exit(137)
+	}
+}
+
 func usage() {
 	fmt.Fprintln(os.Stderr, `ftpim — fault-tolerant DNNs for ReRAM PIM: experiment runner
 
@@ -381,7 +496,13 @@ commands:
 
 common flags: -preset smoke|quick|repro|paper   -cache DIR   -dataset c10|c100|both
               -workers N   -events FILE (JSONL run events)   -v=false (quiet)
+              -checkpoint DIR   -ckpt-every N   -resume
 
 Ctrl-C cancels at the next batch / Monte-Carlo run boundary (exit 130);
-partially trained models are never cached.`)
+partially trained models are never cached. With -checkpoint DIR every
+training run snapshots its full state (weights, optimizer, RNG cursor)
+at epoch boundaries, Ctrl-C flushes a final checkpoint before exiting,
+and a later run with -resume continues bit-identically from the newest
+intact snapshot — torn or corrupted files are detected by checksum and
+skipped.`)
 }

@@ -70,8 +70,8 @@ func main() {
 		dm := fault.DrawDeviceMap(rng.StreamN("device", d), fault.ChenModel(),
 			core.WeightTensors(golden), psaDevice)
 
-		accBase = append(accBase, core.EvalOnDevice(golden, test, dm, 128)*100)
-		accFT = append(accFT, core.EvalOnDevice(ft, test, dm, 128)*100)
+		accBase = append(accBase, must(core.EvalOnDevice(ctx, golden, test, dm, 128))*100)
+		accFT = append(accFT, must(core.EvalOnDevice(ctx, ft, test, dm, 128))*100)
 
 		// Device-specific retraining: a fresh copy per device.
 		dev := build()
@@ -81,7 +81,7 @@ func main() {
 		devCfg.Epochs = 6
 		must(core.FaultAwareRetrain(ctx, dev, train, devCfg, dm))
 		retrainEpochs += devCfg.Epochs
-		accDev = append(accDev, core.EvalOnDevice(dev, test, dm, 128)*100)
+		accDev = append(accDev, must(core.EvalOnDevice(ctx, dev, test, dm, 128))*100)
 	}
 
 	report := func(name string, accs []float64, cost string) {

@@ -1,0 +1,44 @@
+package ckpt
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzLoadCheckpoint drives Decode with arbitrary bytes: it must never
+// panic, and anything it accepts must re-encode to the exact input —
+// the container format has a single canonical byte representation
+// (sections sorted by name), so decode∘encode is the identity on valid
+// files.
+func FuzzLoadCheckpoint(f *testing.F) {
+	valid, err := Encode(map[string][]byte{
+		"meta": []byte("epoch 3"),
+		"net":  bytes.Repeat([]byte{0x42}, 64),
+		"rng":  {1, 2, 3, 4, 5, 6, 7, 8},
+	})
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(valid)
+	f.Add(valid[:len(valid)-3])              // truncated tail
+	f.Add(append([]byte(nil), valid[4:]...)) // missing magic
+	f.Add([]byte("FTCK"))                    // magic only
+	f.Add([]byte{})
+	mut := append([]byte(nil), valid...)
+	mut[20] ^= 0x10
+	f.Add(mut) // bit flip
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		sections, err := Decode(data)
+		if err != nil {
+			return
+		}
+		re, err := Encode(sections)
+		if err != nil {
+			t.Fatalf("decoded sections failed to re-encode: %v", err)
+		}
+		if !bytes.Equal(re, data) {
+			t.Fatalf("decode/encode not canonical: %d bytes in, %d out", len(data), len(re))
+		}
+	})
+}

@@ -289,13 +289,13 @@ func TestFaultAwareRetrainHelpsOwnDeviceOnly(t *testing.T) {
 	weights := WeightTensors(net)
 	dev := fault.DrawDeviceMap(rng.Stream("devA"), fault.ChenModel(), weights, 0.08)
 
-	before := EvalOnDevice(net, test, dev, 64)
+	before, _ := EvalOnDevice(bg, net, test, dev, 64)
 	cfg := quickCfg()
 	cfg.Epochs = 6
 	if _, err := FaultAwareRetrain(bg, net, train, cfg, dev); err != nil {
 		t.Fatal(err)
 	}
-	after := EvalOnDevice(net, test, dev, 64)
+	after, _ := EvalOnDevice(bg, net, test, dev, 64)
 	if after <= before {
 		t.Fatalf("device-specific retraining should help its own device: %.3f -> %.3f", before, after)
 	}
@@ -309,7 +309,7 @@ func TestEvalOnDeviceRestores(t *testing.T) {
 	mustTrain(t, net, train, cfg)
 	snap := net.Snapshot()
 	dev := fault.DrawDeviceMap(tensor.NewRNG(5).Stream("d"), fault.ChenModel(), WeightTensors(net), 0.1)
-	EvalOnDevice(net, test, dev, 64)
+	EvalOnDevice(bg, net, test, dev, 64)
 	if string(net.Snapshot()) != string(snap) {
 		t.Fatal("EvalOnDevice must restore weights")
 	}

@@ -52,7 +52,9 @@ func OneShotFT(ctx context.Context, net *nn.Network, ds *data.Dataset, cfg Confi
 	if err != nil {
 		return res, err
 	}
-	RecalibrateBN(net, ds, cfg.Batch)
+	if err := RecalibrateBN(ctx, net, ds, cfg.Batch); err != nil {
+		return res, err
+	}
 	return res, nil
 }
 
@@ -73,11 +75,32 @@ func ProgressiveFT(ctx context.Context, net *nn.Network, ds *data.Dataset, cfg C
 	}
 	sink := obs.Or(cfg.Sink)
 	total := &Result{}
+	// A checkpoint written by a later rung means every earlier rung
+	// already completed: skip straight to the checkpointed stage and
+	// replay its cumulative history; Train then resumes within it. The
+	// peeked meta is revalidated stage-locally by Train's own restore,
+	// so a stale or foreign checkpoint degrades to a fresh ladder.
+	startStage := 0
+	if cfg.Ckpt != nil {
+		if m := peekCkptMeta(cfg.Ckpt); m != nil &&
+			m.Stage > 0 && m.Stage < len(ladder) &&
+			m.Seed == cfg.Seed+uint64(m.Stage)*1_000_003 &&
+			m.Epochs == epochsPerStage && m.FaultRate == ladder[m.Stage] &&
+			len(m.Prefix) == m.Stage*epochsPerStage {
+			startStage = m.Stage
+			total.History = append(total.History, m.Prefix...)
+		}
+	}
 	for stage, rate := range ladder {
+		if stage < startStage {
+			continue
+		}
 		c := cfg
 		c.Epochs = epochsPerStage
 		c.FaultRate = rate
 		c.Seed = cfg.Seed + uint64(stage)*1_000_003
+		c.ckptStage = stage
+		c.ckptPrefix = append([]EpochStats(nil), total.History...)
 		if sink.Enabled() {
 			sink.Emit(obs.Event{
 				Kind: obs.KindFTStage, Stage: stage + 1,
@@ -94,6 +117,8 @@ func ProgressiveFT(ctx context.Context, net *nn.Network, ds *data.Dataset, cfg C
 			return total, err
 		}
 	}
-	RecalibrateBN(net, ds, cfg.Batch)
+	if err := RecalibrateBN(ctx, net, ds, cfg.Batch); err != nil {
+		return total, err
+	}
 	return total, nil
 }

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"context"
+
 	"github.com/ftpim/ftpim/internal/data"
 	"github.com/ftpim/ftpim/internal/nn"
 	"github.com/ftpim/ftpim/internal/tensor"
@@ -17,10 +19,15 @@ import (
 // One clean statistics pass after FT training removes that artifact
 // (the deployment-time analogue is calibrating the golden model once
 // before mass programming; it is device-independent).
-func RecalibrateBN(net *nn.Network, ds *data.Dataset, batch int) {
+//
+// Cancelling ctx aborts at the next batch boundary with ctx's error;
+// the saved per-layer momenta are restored, but the partially updated
+// running statistics are left as-is — the caller abandoning the run
+// must not rely on them. A nil error means the full pass ran.
+func RecalibrateBN(ctx context.Context, net *nn.Network, ds *data.Dataset, batch int) error {
 	bns := net.BatchNorms()
 	if len(bns) == 0 {
-		return
+		return nil
 	}
 	saved := make([]float64, len(bns))
 	for i, bn := range bns {
@@ -28,10 +35,18 @@ func RecalibrateBN(net *nn.Network, ds *data.Dataset, batch int) {
 		bn.RunningMean.Zero()
 		bn.RunningVar.Fill(1)
 	}
+	defer func() {
+		for i, bn := range bns {
+			bn.Momentum = saved[i]
+		}
+	}()
 	loader := data.NewLoader(ds, batch, data.Augment{}, false, tensor.NewRNG(0))
 	loader.Epoch()
 	step := 0
 	for {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
 		x, _ := loader.Next()
 		if x == nil {
 			break
@@ -45,7 +60,5 @@ func RecalibrateBN(net *nn.Network, ds *data.Dataset, batch int) {
 		net.Forward(x, true)
 		step++
 	}
-	for i, bn := range bns {
-		bn.Momentum = saved[i]
-	}
+	return nil
 }

@@ -24,7 +24,7 @@ func TestRecalibrateBNRestoresCleanStats(t *testing.T) {
 	if polluted >= cleanAcc {
 		t.Skip("pollution did not hurt; cannot test recovery")
 	}
-	RecalibrateBN(net, train, 32)
+	RecalibrateBN(bg, net, train, 32)
 	recovered := metrics.Evaluate(net, test, 64)
 	if recovered < cleanAcc-0.1 {
 		t.Fatalf("recalibration did not recover accuracy: %.3f -> %.3f -> %.3f",
@@ -39,7 +39,7 @@ func TestRecalibrateBNPreservesMomentum(t *testing.T) {
 	cfg.Epochs = 1
 	mustTrain(t, net, train, cfg)
 	want := net.BatchNorms()[0].Momentum
-	RecalibrateBN(net, train, 32)
+	RecalibrateBN(bg, net, train, 32)
 	if got := net.BatchNorms()[0].Momentum; got != want {
 		t.Fatalf("momentum clobbered: %v -> %v", want, got)
 	}
@@ -52,7 +52,7 @@ func TestRecalibrateBNDoesNotTouchWeights(t *testing.T) {
 	cfg.Epochs = 1
 	mustTrain(t, net, train, cfg)
 	w0 := net.Params()[0].W.Clone()
-	RecalibrateBN(net, train, 32)
+	RecalibrateBN(bg, net, train, 32)
 	if !net.Params()[0].W.Equal(w0) {
 		t.Fatal("recalibration must not change weights")
 	}
@@ -61,7 +61,7 @@ func TestRecalibrateBNDoesNotTouchWeights(t *testing.T) {
 func TestRecalibrateBNNoBNLayersSafe(t *testing.T) {
 	train, _ := testTask()
 	net := mlpNet()
-	RecalibrateBN(net, train, 32) // must not panic
+	RecalibrateBN(bg, net, train, 32) // must not panic
 }
 
 func TestRecalibrateBNStatsAreBatchAverages(t *testing.T) {
@@ -70,7 +70,7 @@ func TestRecalibrateBNStatsAreBatchAverages(t *testing.T) {
 	train, _ := testTask()
 	net := testModel(23)
 	mustTrain(t, net, train, quickCfg())
-	RecalibrateBN(net, train, 32)
+	RecalibrateBN(bg, net, train, 32)
 	bn := net.BatchNorms()[0]
 	for c := 0; c < bn.C; c++ {
 		if v := bn.RunningVar.At(c); v <= 0 || math.IsNaN(float64(v)) {

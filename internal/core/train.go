@@ -29,6 +29,7 @@ import (
 	"fmt"
 	"time"
 
+	"github.com/ftpim/ftpim/internal/ckpt"
 	"github.com/ftpim/ftpim/internal/data"
 	"github.com/ftpim/ftpim/internal/fault"
 	"github.com/ftpim/ftpim/internal/nn"
@@ -80,6 +81,29 @@ type Config struct {
 	// Events observe the run and never perturb its RNG or float
 	// streams, so results are identical with any sink attached.
 	Sink obs.Sink
+
+	// Ckpt, when set, makes the run crash-safe: the full training state
+	// (weights, masks, BN stats, SGD velocity, ADMM duals, shuffle-RNG
+	// cursor, epoch history) is snapshotted at epoch boundaries through
+	// this checkpoint run, and — when the run was created resumable — the
+	// newest intact snapshot is restored on entry, skipping the already-
+	// completed epochs. Checkpoints never perturb the run: the resumed
+	// final weights and EpochStats are bit-identical to an uninterrupted
+	// run's, at every worker count. Nil disables checkpointing with zero
+	// cost on the training hot path.
+	Ckpt *ckpt.Run
+	// CkptEvery is the number of epochs between checkpoint writes
+	// (<= 0 → 1). The final epoch of the run and a context cancellation
+	// always flush the last completed boundary regardless of interval.
+	CkptEvery int
+
+	// ckptStage tags checkpoints with the multi-stage position of this
+	// Train call (progressive-FT rung index); ckptPrefix is the
+	// cumulative history of completed earlier stages, round-tripped
+	// through checkpoints so a resumed ladder reports its full trace.
+	// Both are managed by ProgressiveFT.
+	ckptStage  int
+	ckptPrefix []EpochStats
 }
 
 // Normalize returns cfg with every optional zero-valued field resolved
@@ -166,6 +190,13 @@ func WeightTensors(net *nn.Network) []*tensor.Tensor {
 // hold a consistent (partially trained) state — and Train returns the
 // partial Result together with ctx's error. A nil error means the full
 // epoch budget ran.
+//
+// With Config.Ckpt set, the run additionally snapshots its full state
+// at epoch boundaries (and flushes the last boundary on cancellation),
+// and resumes from the newest intact snapshot when one matching this
+// run exists — replaying the remaining epochs bit-identically to an
+// uninterrupted run. A cancellation mid-epoch is resumed from the
+// preceding boundary; the interrupted epoch replays in full.
 func Train(ctx context.Context, net *nn.Network, ds *data.Dataset, cfg Config) (*Result, error) {
 	if cfg.Epochs <= 0 || cfg.Batch <= 0 {
 		panic(fmt.Sprintf("core: invalid config epochs=%d batch=%d", cfg.Epochs, cfg.Batch))
@@ -178,16 +209,17 @@ func Train(ctx context.Context, net *nn.Network, ds *data.Dataset, cfg Config) (
 
 	rng := tensor.NewRNG(cfg.Seed)
 	opt := optim.NewSGD(net.Params(), cfg.LR, cfg.Momentum, cfg.WeightDecay)
-	loader := data.NewLoader(ds, cfg.Batch, cfg.Aug, true, rng.Stream("shuffle"))
+	shuffleRNG := rng.Stream("shuffle")
+	loader := data.NewLoader(ds, cfg.Batch, cfg.Aug, true, shuffleRNG)
 	weights := WeightTensors(net)
 	faultRNG := rng.Stream("train-faults")
 	model := cfg.FaultModel
 
 	start := time.Now()
-	samples := 0
 	res := &Result{}
-	var bestState []byte
-	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+	cs := newCkptSaver(&cfg, net, opt, shuffleRNG, loader)
+	startEpoch, bestState, samples := cs.restore(res)
+	for epoch := startEpoch; epoch < cfg.Epochs; epoch++ {
 		opt.LR = cfg.Schedule.LR(epoch)
 
 		// Per Algorithm 1 the fault pattern is redrawn each epoch and
@@ -205,6 +237,7 @@ func Train(ctx context.Context, net *nn.Network, ds *data.Dataset, cfg Config) (
 		var correct, seen, batches int
 		for step := 0; ; step++ {
 			if err := ctx.Err(); err != nil {
+				cs.onCancel(epoch)
 				return res, err
 			}
 			x, y := loader.Next()
@@ -265,6 +298,7 @@ func Train(ctx context.Context, net *nn.Network, ds *data.Dataset, cfg Config) (
 			}
 		}
 		res.History = append(res.History, st)
+		cs.epochEnd(epoch, res, bestState, samples)
 		if sink.Enabled() {
 			sink.Emit(obs.Event{
 				Kind: obs.KindTrainEpoch, Epoch: epoch + 1,

@@ -1,6 +1,8 @@
 package data
 
 import (
+	"fmt"
+
 	"github.com/ftpim/ftpim/internal/tensor"
 )
 
@@ -55,6 +57,36 @@ func (l *Loader) Epoch() {
 // Steps returns the number of batches per epoch (final partial batch
 // included).
 func (l *Loader) Steps() int { return (l.DS.N() + l.Batch - 1) / l.Batch }
+
+// PermState returns a copy of the current shuffle permutation (nil
+// before the first Epoch call). Epoch reshuffles the previous epoch's
+// permutation in place rather than starting from identity, so the
+// permutation — like the RNG cursor — is sequential state a resumed
+// training run must restore to replay the original batch order.
+func (l *Loader) PermState() []int {
+	if l.perm == nil {
+		return nil
+	}
+	return append([]int(nil), l.perm...)
+}
+
+// SetPermState restores a permutation captured by PermState, validating
+// that it is a permutation of the dataset's indices.
+func (l *Loader) SetPermState(perm []int) error {
+	n := l.DS.N()
+	if len(perm) != n {
+		return fmt.Errorf("data: perm state has %d entries, dataset has %d", len(perm), n)
+	}
+	seen := make([]bool, n)
+	for _, p := range perm {
+		if p < 0 || p >= n || seen[p] {
+			return fmt.Errorf("data: perm state is not a permutation of [0,%d)", n)
+		}
+		seen[p] = true
+	}
+	l.perm = append([]int(nil), perm...)
+	return nil
+}
 
 // Next returns the next mini-batch, or (nil, nil) at epoch end. The
 // returned tensors/slices are reused on the following call.

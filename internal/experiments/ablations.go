@@ -39,7 +39,7 @@ func AblationLadder(ctx context.Context, e *Env, ds string, target float64, maxR
 					return err
 				}
 				mustRestore(net, base)
-				cfg := e.trainCfg(e.Scale.FTEpochs, e.Scale.FTLR, e.Scale.Seed+hash64(key))
+				cfg := e.trainCfg(key, e.Scale.FTEpochs, e.Scale.FTLR, e.Scale.Seed+hash64(key))
 				ladder := core.Ladder(target, rungs)
 				// Split the same total budget across stages for a
 				// compute-fair comparison.
@@ -92,7 +92,7 @@ func AblationResample(ctx context.Context, e *Env, ds string, rate float64) (Res
 					return err
 				}
 				mustRestore(net, base)
-				cfg := e.trainCfg(e.Scale.FTEpochs, e.Scale.FTLR, e.Scale.Seed+hash64(key))
+				cfg := e.trainCfg(key, e.Scale.FTEpochs, e.Scale.FTLR, e.Scale.Seed+hash64(key))
 				cfg.PerBatch = perBatch
 				_, err = core.OneShotFT(ctx, net, train, cfg, rate)
 				return err

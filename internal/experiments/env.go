@@ -7,6 +7,7 @@ import (
 	"os"
 	"path/filepath"
 
+	"github.com/ftpim/ftpim/internal/ckpt"
 	"github.com/ftpim/ftpim/internal/core"
 	"github.com/ftpim/ftpim/internal/data"
 	"github.com/ftpim/ftpim/internal/models"
@@ -26,6 +27,15 @@ type Env struct {
 	// evaluation work emits, plus cache.hit/miss/write trace events
 	// (nil → obs.Null). Events never perturb results.
 	Sink obs.Sink
+
+	// Ckpt, when set, gives every training run a crash-safe checkpoint
+	// directory keyed by its cache key, so a killed sweep resumes at
+	// the last epoch boundary instead of the last finished model. A
+	// run's checkpoints are deleted once its model reaches the cache —
+	// the cache entry supersedes them. CkptEvery is the epoch interval
+	// between writes (<=0 → every epoch).
+	Ckpt      *ckpt.Store
+	CkptEvery int
 
 	datasets map[string][2]*data.Dataset
 	nets     map[string]*nn.Network
@@ -152,6 +162,12 @@ func (e *Env) cached(key string, build func() *nn.Network, train func(net *nn.Ne
 	if path != "" {
 		e.writeCache(path, key, net)
 	}
+	// The finished model supersedes its training checkpoints (including
+	// any per-phase "key.*" runs); drop them so a later resumed sweep
+	// does not replay a completed run from stale state.
+	if e.Ckpt != nil {
+		e.Ckpt.ClearKey(key)
+	}
 	return net, nil
 }
 
@@ -184,23 +200,32 @@ func (e *Env) writeCache(path, key string, net *nn.Network) {
 	}
 }
 
-// trainCfg builds the shared training configuration.
-func (e *Env) trainCfg(epochs int, lr float64, seed uint64) core.Config {
+// trainCfg builds the shared training configuration. key names the
+// training run for crash-safe checkpointing (distinct per cached model
+// and, for multi-phase recipes, per phase via a "." suffix); it is
+// ignored unless e.Ckpt is set.
+func (e *Env) trainCfg(key string, epochs int, lr float64, seed uint64) core.Config {
 	s := e.Scale
-	return core.Config{
+	cfg := core.Config{
 		Epochs: epochs, Batch: s.Batch,
 		LR: lr, Momentum: s.Momentum, WeightDecay: s.WeightDecay,
 		Aug: s.Aug, Seed: seed, Sink: e.Sink,
 	}
+	if e.Ckpt != nil {
+		cfg.Ckpt = e.Ckpt.Run(key)
+		cfg.CkptEvery = e.CkptEvery
+	}
+	return cfg
 }
 
 // Pretrained returns the baseline well-trained model for a dataset
 // (the Acc_pretrain model of Figure 1).
 func (e *Env) Pretrained(ctx context.Context, ds string) (*nn.Network, error) {
 	train, _ := e.Dataset(ds)
-	return e.cached("pretrain-"+ds, func() *nn.Network { return e.buildModel(ds) },
+	key := "pretrain-" + ds
+	return e.cached(key, func() *nn.Network { return e.buildModel(ds) },
 		func(net *nn.Network) error {
-			_, err := core.Train(ctx, net, train, e.trainCfg(e.Scale.PretrainEpochs, e.Scale.LR, e.Scale.Seed))
+			_, err := core.Train(ctx, net, train, e.trainCfg(key, e.Scale.PretrainEpochs, e.Scale.LR, e.Scale.Seed))
 			return err
 		})
 }
@@ -217,7 +242,7 @@ func (e *Env) OneShot(ctx context.Context, ds string, rate float64) (*nn.Network
 				return err
 			}
 			mustRestore(net, base)
-			cfg := e.trainCfg(e.Scale.FTEpochs, e.Scale.FTLR, e.Scale.Seed+hash64(key))
+			cfg := e.trainCfg(key, e.Scale.FTEpochs, e.Scale.FTLR, e.Scale.Seed+hash64(key))
 			_, err = core.OneShotFT(ctx, net, train, cfg, rate)
 			return err
 		})
@@ -235,7 +260,7 @@ func (e *Env) Progressive(ctx context.Context, ds string, rate float64) (*nn.Net
 				return err
 			}
 			mustRestore(net, base)
-			cfg := e.trainCfg(e.Scale.FTEpochs, e.Scale.FTLR, e.Scale.Seed+hash64(key))
+			cfg := e.trainCfg(key, e.Scale.FTEpochs, e.Scale.FTLR, e.Scale.Seed+hash64(key))
 			ladder := core.Ladder(rate, e.Scale.ProgRungs)
 			_, err = core.ProgressiveFT(ctx, net, train, cfg, ladder, e.Scale.ProgEpochsPerStage)
 			return err
@@ -255,7 +280,7 @@ func (e *Env) PrunedMagnitude(ctx context.Context, ds string, sparsity float64) 
 			}
 			mustRestore(net, base)
 			prune.MagnitudePrune(net.WeightParams(), sparsity, false)
-			_, err = core.Train(ctx, net, train, e.trainCfg(e.Scale.FinetuneEpochs, e.Scale.FTLR, e.Scale.Seed+hash64(key)))
+			_, err = core.Train(ctx, net, train, e.trainCfg(key, e.Scale.FinetuneEpochs, e.Scale.FTLR, e.Scale.Seed+hash64(key)))
 			return err
 		})
 }
@@ -273,14 +298,14 @@ func (e *Env) PrunedADMM(ctx context.Context, ds string, sparsity float64) (*nn.
 			}
 			mustRestore(net, base)
 			admm := prune.NewADMM(net.WeightParams(), sparsity, e.Scale.ADMMRho)
-			cfg := e.trainCfg(e.Scale.ADMMEpochs, e.Scale.FTLR, e.Scale.Seed+hash64(key))
+			cfg := e.trainCfg(key+".admm", e.Scale.ADMMEpochs, e.Scale.FTLR, e.Scale.Seed+hash64(key))
 			cfg.ADMM = admm
 			cfg.ADMMInterval = 2
 			if _, err := core.Train(ctx, net, train, cfg); err != nil {
 				return err
 			}
 			admm.Finalize()
-			_, err = core.Train(ctx, net, train, e.trainCfg(e.Scale.FinetuneEpochs, e.Scale.FTLR, e.Scale.Seed+hash64(key)+1))
+			_, err = core.Train(ctx, net, train, e.trainCfg(key+".ft", e.Scale.FinetuneEpochs, e.Scale.FTLR, e.Scale.Seed+hash64(key)+1))
 			return err
 		})
 }
@@ -302,7 +327,7 @@ func (e *Env) PrunedFT(ctx context.Context, ds string, sparsity, rate float64, p
 				return err
 			}
 			mustRestore(net, base)
-			cfg := e.trainCfg(e.Scale.FTEpochs, e.Scale.FTLR, e.Scale.Seed+hash64(key))
+			cfg := e.trainCfg(key, e.Scale.FTEpochs, e.Scale.FTLR, e.Scale.Seed+hash64(key))
 			if progressive {
 				_, err = core.ProgressiveFT(ctx, net, train, cfg, core.Ladder(rate, e.Scale.ProgRungs), e.Scale.ProgEpochsPerStage)
 			} else {

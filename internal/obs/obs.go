@@ -58,6 +58,16 @@ const (
 	// items processed — samples for training, runs for evaluation).
 	// Wall-clock values are the one non-deterministic event field.
 	KindTiming Kind = "timing"
+	// KindCkptSave reports one crash-safe checkpoint written to disk
+	// (Key = file path, Epoch/Stage = training position, N = bytes).
+	KindCkptSave Kind = "ckpt.save"
+	// KindCkptRestore reports a training run resuming from a checkpoint
+	// (Key = file path, Epoch = completed epochs restored, Stage).
+	KindCkptRestore Kind = "ckpt.restore"
+	// KindCkptCorrupt reports a checkpoint file that failed its
+	// checksum or decode and was skipped in favor of an older good one
+	// (Key = file path, Msg = reason).
+	KindCkptCorrupt Kind = "ckpt.corrupt"
 )
 
 // Event is one structured observation of a run. It is a flat value
@@ -114,6 +124,12 @@ func (e Event) String() string {
 				e.Phase, e.Seconds, e.N, float64(e.N)/e.Seconds)
 		}
 		return fmt.Sprintf("%s: %.2fs", e.Phase, e.Seconds)
+	case KindCkptSave:
+		return fmt.Sprintf("checkpoint saved: %s (epoch %d, %d bytes)", e.Key, e.Epoch, e.N)
+	case KindCkptRestore:
+		return fmt.Sprintf("resumed from checkpoint %s (epoch %d, stage %d)", e.Key, e.Epoch, e.Stage)
+	case KindCkptCorrupt:
+		return fmt.Sprintf("corrupt checkpoint %s skipped: %s", e.Key, e.Msg)
 	}
 	if e.Msg != "" {
 		return string(e.Kind) + ": " + e.Msg

@@ -4,6 +4,7 @@
 package optim
 
 import (
+	"fmt"
 	"math"
 
 	"github.com/ftpim/ftpim/internal/nn"
@@ -83,6 +84,34 @@ func (s *SGD) ResetVelocity() {
 	for _, v := range s.velocity {
 		v.Zero()
 	}
+}
+
+// ExportState returns a deep copy of the momentum buffers, in parameter
+// order — the optimizer state a training checkpoint must carry for a
+// resumed run to take bit-identical update steps.
+func (s *SGD) ExportState() []*tensor.Tensor {
+	out := make([]*tensor.Tensor, len(s.velocity))
+	for i, v := range s.velocity {
+		out[i] = v.Clone()
+	}
+	return out
+}
+
+// ImportState restores momentum buffers captured by ExportState into an
+// optimizer over a structurally identical parameter set.
+func (s *SGD) ImportState(velocity []*tensor.Tensor) error {
+	if len(velocity) != len(s.velocity) {
+		return fmt.Errorf("optim: state has %d velocity buffers, optimizer has %d", len(velocity), len(s.velocity))
+	}
+	for i, v := range velocity {
+		if !s.velocity[i].SameShape(v) {
+			return fmt.Errorf("optim: velocity %d shape %v != saved %v", i, s.velocity[i].Shape(), v.Shape())
+		}
+	}
+	for i, v := range velocity {
+		s.velocity[i].CopyFrom(v)
+	}
+	return nil
 }
 
 // GradNorm returns the global L2 norm of all gradients; handy for

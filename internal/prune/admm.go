@@ -76,6 +76,42 @@ func (a *ADMM) UpdateDuals() {
 	}
 }
 
+// ADMMState is the serializable auxiliary state of an ADMM run — the
+// Z projections and scaled duals U — captured by ExportState so a
+// checkpointed ADMM training phase can resume mid-run with identical
+// penalty gradients and dual updates.
+type ADMMState struct {
+	Z, U []*tensor.Tensor
+}
+
+// ExportState returns a deep copy of the Z and U variables.
+func (a *ADMM) ExportState() *ADMMState {
+	st := &ADMMState{}
+	for i := range a.params {
+		st.Z = append(st.Z, a.z[i].Clone())
+		st.U = append(st.U, a.u[i].Clone())
+	}
+	return st
+}
+
+// ImportState restores Z and U captured by ExportState into an ADMM
+// instance over a structurally identical parameter set.
+func (a *ADMM) ImportState(st *ADMMState) error {
+	if st == nil || len(st.Z) != len(a.z) || len(st.U) != len(a.u) {
+		return fmt.Errorf("prune: ADMM state shape mismatch")
+	}
+	for i := range a.z {
+		if !a.z[i].SameShape(st.Z[i]) || !a.u[i].SameShape(st.U[i]) {
+			return fmt.Errorf("prune: ADMM state tensor %d shape mismatch", i)
+		}
+	}
+	for i := range a.z {
+		a.z[i].CopyFrom(st.Z[i])
+		a.u[i].CopyFrom(st.U[i])
+	}
+	return nil
+}
+
 // PrimalResidual returns ‖W − Z‖₂ summed over params — the convergence
 // measure of the ADMM split.
 func (a *ADMM) PrimalResidual() float64 {

@@ -1,0 +1,148 @@
+package reram
+
+import (
+	"math"
+	"testing"
+
+	"github.com/ftpim/ftpim/internal/fault"
+	"github.com/ftpim/ftpim/internal/tensor"
+)
+
+// highMagCols flags the logical columns of x that carry above-average
+// conductance (Σ_r Target − Gmin): the columns whose outputs matter
+// most and which remapping is supposed to protect.
+func highMagCols(x *Crossbar) []bool {
+	mag := make([]float64, x.Cols)
+	var mean float64
+	for c := 0; c < x.Cols; c++ {
+		for r := 0; r < x.Rows; r++ {
+			mag[c] += x.Target(r, c) - x.Gmin
+		}
+		mean += mag[c]
+	}
+	mean /= float64(x.Cols)
+	high := make([]bool, x.Cols)
+	for c := range high {
+		high[c] = mag[c] > mean
+	}
+	return high
+}
+
+// highMagFaultCount runs a full-coverage march over every tile of m and
+// counts the detected stuck-off (SA0) faults that land on
+// high-magnitude logical columns under the currently installed routing
+// and corrupt the value the column presents. SA0 cells pin a
+// conductance to Gmin, so they are the faults that crush large
+// weights; SA1 cells (stuck at Gmax) are cheapest when parked on
+// high-conductance columns, and the remapper legitimately routes them
+// there. A stuck cell whose pinned value matches the desired target is
+// free under either routing.
+func highMagFaultCount(t *testing.T, m *MappedMatrix, rng *tensor.RNG) int {
+	t.Helper()
+	count := 0
+	for _, tf := range MarchTestMatrix(m, 1, rng) {
+		pos, neg := m.Tiles(tf.RowTile, tf.ColTile)
+		xb := pos
+		if !tf.Positive {
+			xb = neg
+		}
+		high := highMagCols(xb)
+		for _, f := range tf.Faults {
+			if f.Kind == FaultSA0 && high[f.Col] && xb.Effective(f.Row, f.Col) != xb.Target(f.Row, f.Col) {
+				count++
+			}
+		}
+	}
+	return count
+}
+
+// The in-field repair path: march-test a defective chip, remap its
+// columns, march-test again. Remapping must never route MORE faulty
+// cells onto the high-magnitude columns than identity routing did, and
+// ResetColPerms must restore identity routing exactly.
+func TestRepairPathNeverHurtsHighMagnitudeColumns(t *testing.T) {
+	for _, seed := range []uint64{1, 2, 3, 5, 8, 13, 21, 34, 55, 89, 144, 233, 377, 610, 987, 1597} {
+		r := tensor.NewRNG(seed)
+		out := 4 + int(r.Uint64()%12)
+		in := 4 + int(r.Uint64()%12)
+		w := tensor.New(out, in)
+		tensor.FillNormal(w, r, 0, 1)
+		m := MapMatrix(w, MapOptions{TileRows: 8, TileCols: 8, Levels: 0, Gmin: 0.1, Gmax: 10})
+		m.InjectFaults(r.Stream("f"), fault.ChenModel(), 0.08)
+
+		identityWeights := m.EffectiveWeights()
+		before := highMagFaultCount(t, m, r.Stream("march"))
+		RemapColumns(m)
+		after := highMagFaultCount(t, m, r.Stream("march"))
+		if after > before {
+			t.Fatalf("seed %d: remap routed %d faults onto high-magnitude columns, identity had %d",
+				seed, after, before)
+		}
+
+		// ResetColPerms must restore identity on every tile, byte for byte:
+		// ColPerm reads nil and the effective weights match the pre-remap
+		// (identity-routed) ones exactly.
+		m.ResetColPerms()
+		rt, ct := m.TileGrid()
+		for i := 0; i < rt; i++ {
+			for j := 0; j < ct; j++ {
+				pos, neg := m.Tiles(i, j)
+				if pos.ColPerm() != nil || neg.ColPerm() != nil {
+					t.Fatalf("seed %d: tile (%d,%d) still has a column permutation after reset", seed, i, j)
+				}
+			}
+		}
+		if !m.EffectiveWeights().Equal(identityWeights) {
+			t.Fatalf("seed %d: ResetColPerms did not restore identity routing", seed)
+		}
+	}
+}
+
+// A march test at full coverage finds exactly the injected fault
+// population, and the repair path never touches the programmed targets
+// (repair is routing-only; re-programming is a separate pass).
+func TestMarchTestMatrixFindsAllInjectedFaults(t *testing.T) {
+	r := tensor.NewRNG(7)
+	w := tensor.New(10, 10)
+	tensor.FillNormal(w, r, 0, 1)
+	m := MapMatrix(w, MapOptions{TileRows: 6, TileCols: 6, Levels: 0, Gmin: 0.1, Gmax: 10})
+	injected := m.InjectFaults(r.Stream("f"), fault.ChenModel(), 0.1)
+
+	targetsBefore := make(map[[4]int]float64)
+	rt, ct := m.TileGrid()
+	for i := 0; i < rt; i++ {
+		for j := 0; j < ct; j++ {
+			pos, neg := m.Tiles(i, j)
+			for ri := 0; ri < pos.Rows; ri++ {
+				for ci := 0; ci < pos.Cols; ci++ {
+					targetsBefore[[4]int{i, j, ri, ci}] = pos.Target(ri, ci)
+					targetsBefore[[4]int{i, j, ri + 1000, ci}] = neg.Target(ri, ci)
+				}
+			}
+		}
+	}
+
+	detected := 0
+	for _, tf := range MarchTestMatrix(m, 1, r.Stream("march")) {
+		detected += len(tf.Faults)
+	}
+	if detected != injected {
+		t.Fatalf("full-coverage march detected %d of %d injected faults", detected, injected)
+	}
+	RemapColumns(m)
+	for i := 0; i < rt; i++ {
+		for j := 0; j < ct; j++ {
+			pos, neg := m.Tiles(i, j)
+			for ri := 0; ri < pos.Rows; ri++ {
+				for ci := 0; ci < pos.Cols; ci++ {
+					if got := pos.Target(ri, ci); math.Abs(got-targetsBefore[[4]int{i, j, ri, ci}]) > 0 {
+						t.Fatalf("remap changed a programmed target on tile (%d,%d)+", i, j)
+					}
+					if got := neg.Target(ri, ci); math.Abs(got-targetsBefore[[4]int{i, j, ri + 1000, ci}]) > 0 {
+						t.Fatalf("remap changed a programmed target on tile (%d,%d)-", i, j)
+					}
+				}
+			}
+		}
+	}
+}

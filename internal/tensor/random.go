@@ -1,6 +1,8 @@
 package tensor
 
 import (
+	"encoding/binary"
+	"errors"
 	"hash/fnv"
 	"math"
 	"math/rand/v2"
@@ -12,12 +14,43 @@ import (
 // are exactly reproducible.
 type RNG struct {
 	*rand.Rand
+	src  *rand.PCG
 	seed uint64
 }
 
 // NewRNG returns a PCG-backed RNG for the given seed.
 func NewRNG(seed uint64) *RNG {
-	return &RNG{Rand: rand.New(rand.NewPCG(seed, seed^0x9e3779b97f4a7c15)), seed: seed}
+	src := rand.NewPCG(seed, seed^0x9e3779b97f4a7c15)
+	return &RNG{Rand: rand.New(src), src: src, seed: seed}
+}
+
+// MarshalState captures the RNG's exact position in its stream: the
+// seed it was created with plus the underlying PCG state. A stream
+// restored with UnmarshalState produces the same values the original
+// would have produced from this point on — the primitive that lets a
+// resumed training run replay the identical shuffle and augmentation
+// draws an uninterrupted run would see.
+func (r *RNG) MarshalState() ([]byte, error) {
+	pcg, err := r.src.MarshalBinary()
+	if err != nil {
+		return nil, err
+	}
+	buf := make([]byte, 8+len(pcg))
+	binary.LittleEndian.PutUint64(buf, r.seed)
+	copy(buf[8:], pcg)
+	return buf, nil
+}
+
+// UnmarshalState restores a position captured by MarshalState.
+func (r *RNG) UnmarshalState(b []byte) error {
+	if len(b) < 8 {
+		return errors.New("tensor: RNG state too short")
+	}
+	if err := r.src.UnmarshalBinary(b[8:]); err != nil {
+		return err
+	}
+	r.seed = binary.LittleEndian.Uint64(b)
+	return nil
 }
 
 // Seed returns the seed the RNG was created with.
