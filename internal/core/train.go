@@ -217,6 +217,7 @@ func Train(ctx context.Context, net *nn.Network, ds *data.Dataset, cfg Config) (
 
 	start := time.Now()
 	res := &Result{}
+	var lossWS tensor.Workspace // softmax probs/gradient, reused per batch
 	cs := newCkptSaver(&cfg, net, opt, shuffleRNG, loader)
 	startEpoch, bestState, samples := cs.restore(res)
 	for epoch := startEpoch; epoch < cfg.Epochs; epoch++ {
@@ -253,7 +254,7 @@ func Train(ctx context.Context, net *nn.Network, ds *data.Dataset, cfg Config) (
 			}
 			net.ZeroGrad()
 			out := net.Forward(x, true)
-			loss, dOut := nn.SoftmaxCrossEntropy(out, y)
+			loss, dOut := nn.SoftmaxCrossEntropyWS(&lossWS, out, y)
 			for i := 0; i < len(y); i++ {
 				if out.ArgMaxRow(i) == y[i] {
 					correct++

@@ -26,8 +26,10 @@ type Loader struct {
 	rng    *tensor.RNG
 	perm   []int
 	cursor int
-	images *tensor.Tensor
+	buf    []float32 // full-batch image storage; partial batches view a prefix
+	images tensor.Tensor
 	labels []int
+	shift  []float32 // augment scratch plane
 }
 
 // NewLoader creates a mini-batch loader. rng drives shuffling and
@@ -101,18 +103,21 @@ func (l *Loader) Next() (*tensor.Tensor, []int) {
 	}
 	c, h, w := l.DS.Dims()
 	stride := c * h * w
-	if l.images == nil || l.images.Dim(0) != bs {
-		l.images = tensor.New(bs, c, h, w)
-		l.labels = make([]int, bs)
+	// The storage is sized for a full batch once; the final partial
+	// batch re-views a prefix of it instead of reallocating.
+	if len(l.buf) < l.Batch*stride {
+		l.buf = make([]float32, l.Batch*stride)
+		l.labels = make([]int, l.Batch)
 	}
+	l.images.SetView(l.buf[:bs*stride], bs, c, h, w)
 	for bi := 0; bi < bs; bi++ {
 		src := l.perm[l.cursor+bi]
-		dst := l.images.Data()[bi*stride : (bi+1)*stride]
+		dst := l.buf[bi*stride : (bi+1)*stride]
 		l.labels[bi] = l.DS.Example(src, dst)
 		l.augment(dst, c, h, w)
 	}
 	l.cursor += bs
-	return l.images, l.labels[:bs]
+	return &l.images, l.labels[:bs]
 }
 
 // augment applies flip/shift in place to one CHW example.
@@ -132,7 +137,10 @@ func (l *Loader) augment(img []float32, c, h, w int) {
 		dx := int(l.rng.Uint64()%uint64(2*m+1)) - m
 		dy := int(l.rng.Uint64()%uint64(2*m+1)) - m
 		if dx != 0 || dy != 0 {
-			shifted := make([]float32, h*w)
+			if len(l.shift) < h*w {
+				l.shift = make([]float32, h*w)
+			}
+			shifted := l.shift[:h*w]
 			for ch := 0; ch < c; ch++ {
 				plane := img[ch*h*w : (ch+1)*h*w]
 				for i := range shifted {

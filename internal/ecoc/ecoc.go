@@ -17,10 +17,17 @@ import (
 )
 
 // Codebook assigns every class a ±1 codeword of Bits bits.
+//
+// A Codebook is not safe for concurrent Decode/Accuracy calls: decoding
+// reuses a cached code matrix and score buffer. Give each goroutine its
+// own codebook (or guard it) when decoding in parallel.
 type Codebook struct {
 	Classes int
 	Bits    int
 	codes   [][]int8 // classes × bits, entries ±1
+
+	mat    *tensor.Tensor // codes as float32, built lazily for decoding
+	scores []float32      // per-class correlation scratch
 }
 
 // NewRandomCodebook draws random balanced codewords with a guaranteed
@@ -98,12 +105,21 @@ func (cb *Codebook) Decode(logits []float32) int {
 	if len(logits) != cb.Bits {
 		panic(fmt.Sprintf("ecoc: logit width %d, want %d bits", len(logits), cb.Bits))
 	}
-	best, bi := math.Inf(-1), 0
-	for c, code := range cb.codes {
-		var s float64
-		for b, v := range logits {
-			s += float64(code[b]) * float64(v)
+	if cb.mat == nil {
+		cb.mat = tensor.New(cb.Classes, cb.Bits)
+		md := cb.mat.Data()
+		for c, code := range cb.codes {
+			for b, v := range code {
+				md[c*cb.Bits+b] = float32(v)
+			}
 		}
+		cb.scores = make([]float32, cb.Classes)
+	}
+	// One matrix-vector product scores all classes; ties resolve to the
+	// lowest class index, as the scalar loop did.
+	tensor.MatVecInto(cb.scores, cb.mat, logits)
+	best, bi := float32(math.Inf(-1)), 0
+	for c, s := range cb.scores {
 		if s > best {
 			best, bi = s, c
 		}

@@ -21,10 +21,15 @@ type pinnedFault struct {
 // Stuck-on values track the weight tensor's current |w|max at apply
 // time, because the conductance scale is re-derived whenever a model
 // is reprogrammed onto the crossbar.
+// A DeviceMap is not safe for concurrent Apply calls: it recycles one
+// lesion record across the apply→undo cycle (training applies the same
+// map every batch).
 type DeviceMap struct {
 	Psa    float64
 	faults [][]pinnedFault
 	shapes [][]int
+
+	scratch *Lesion // recycled once the caller has undone it
 }
 
 // DrawDeviceMap samples a fixed defect pattern for tensors with the
@@ -75,9 +80,21 @@ func (dm *DeviceMap) Apply(tensors []*tensor.Tensor) *Lesion {
 	if len(tensors) != len(dm.faults) {
 		panic("fault: DeviceMap tensor count mismatch")
 	}
-	l := &Lesion{
-		tensors: tensors,
-		undo:    make([][]entry, len(tensors)),
+	l := dm.scratch
+	if l != nil && l.spent {
+		l.tensors = tensors
+		l.nSA0, l.nSA1, l.total = 0, 0, 0
+		l.spent = false
+		for len(l.undo) < len(tensors) {
+			l.undo = append(l.undo, nil)
+		}
+		l.undo = l.undo[:len(tensors)]
+	} else {
+		l = &Lesion{
+			tensors: tensors,
+			undo:    make([][]entry, len(tensors)),
+		}
+		dm.scratch = l
 	}
 	for ti, t := range tensors {
 		if t.Len() == 0 {

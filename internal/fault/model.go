@@ -105,7 +105,8 @@ type Lesion struct {
 	undo    [][]entry
 	nSA0    int
 	nSA1    int
-	total   int // total weight elements covered
+	total   int  // total weight elements covered
+	spent   bool // Undo has run; the record may be recycled
 }
 
 // Counts returns the number of injected SA0 and SA1 faults.
@@ -120,7 +121,9 @@ func (l *Lesion) Rate() float64 {
 }
 
 // Undo restores every faulted weight to its original value. Safe to
-// call exactly once; subsequent calls are no-ops.
+// call exactly once; an immediate second call is a no-op. An undone
+// lesion may be recycled by the next Inject on the same injector, so
+// callers must not retain it past that point.
 func (l *Lesion) Undo() {
 	for ti, t := range l.tensors {
 		d := t.Data()
@@ -131,6 +134,7 @@ func (l *Lesion) Undo() {
 		}
 		l.undo[ti] = es[:0]
 	}
+	l.spent = true
 }
 
 // Injector draws stuck-at faults over a set of weight tensors.
@@ -139,9 +143,15 @@ func (l *Lesion) Undo() {
 // wmax = max|w| at injection time, mirroring per-layer crossbar scaling
 // (every layer's weights are programmed with their own conductance
 // scale, so a stuck-on cell saturates at that layer's maximum).
+// An Injector is not safe for concurrent use: it recycles one lesion
+// record and one RNG across calls. The parallel evaluation protocol in
+// internal/core gives every worker its own injector.
 type Injector struct {
 	Model   Model
 	Tensors []*tensor.Tensor
+
+	scratch *Lesion     // recycled once the caller has undone it
+	runRNG  *tensor.RNG // recycled per-run stream for InjectRun
 }
 
 // NewInjector builds an injector over the given weight tensors.
@@ -157,9 +167,24 @@ func (inj *Injector) Inject(rng *tensor.RNG, psa float64) *Lesion {
 	if psa < 0 || psa > 1 {
 		panic(fmt.Sprintf("fault: psa %v out of [0,1]", psa))
 	}
-	l := &Lesion{
-		tensors: inj.Tensors,
-		undo:    make([][]entry, len(inj.Tensors)),
+	// Recycle the previous lesion once it has been undone (the
+	// steady-state inject→eval→undo loop); overlapping live lesions
+	// still get fresh records.
+	l := inj.scratch
+	if l != nil && l.spent {
+		l.tensors = inj.Tensors
+		l.nSA0, l.nSA1, l.total = 0, 0, 0
+		l.spent = false
+		for len(l.undo) < len(inj.Tensors) {
+			l.undo = append(l.undo, nil)
+		}
+		l.undo = l.undo[:len(inj.Tensors)]
+	} else {
+		l = &Lesion{
+			tensors: inj.Tensors,
+			undo:    make([][]entry, len(inj.Tensors)),
+		}
+		inj.scratch = l
 	}
 	if psa == 0 {
 		return l
@@ -202,9 +227,15 @@ func RunRNG(seed uint64, run int) *tensor.RNG {
 
 // InjectRun applies one Monte-Carlo injection using the canonical
 // per-run stream (see RunRNG). Serial and parallel callers construct
-// identical lesions for the same (seed, run, psa).
+// identical lesions for the same (seed, run, psa). The stream is drawn
+// by reseeding a recycled RNG, which is bit-equivalent to RunRNG but
+// allocation-free in the steady state.
 func (inj *Injector) InjectRun(seed uint64, run int, psa float64) *Lesion {
-	return inj.Inject(RunRNG(seed, run), psa)
+	if inj.runRNG == nil {
+		inj.runRNG = tensor.NewRNG(0)
+	}
+	inj.runRNG.Reseed(tensor.StreamSeedN(seed, "defect-run", run))
+	return inj.Inject(inj.runRNG, psa)
 }
 
 // NumWeights returns the total number of weight elements covered.

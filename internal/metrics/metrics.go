@@ -22,13 +22,14 @@ func Evaluate(net *nn.Network, ds *data.Dataset, batch int) float64 {
 	c, h, w := ds.Dims()
 	stride := c * h * w
 	correct := 0
+	var x tensor.Tensor // reused view over the dataset, no per-batch alloc
 	for start := 0; start < n; start += batch {
 		bs := batch
 		if start+bs > n {
 			bs = n - start
 		}
-		x := tensor.FromSlice(ds.Images.Data()[start*stride:(start+bs)*stride], bs, c, h, w)
-		out := net.Forward(x, false)
+		x.SetView(ds.Images.Data()[start*stride:(start+bs)*stride], bs, c, h, w)
+		out := net.Forward(&x, false)
 		for i := 0; i < bs; i++ {
 			if out.ArgMaxRow(i) == ds.Labels[start+i] {
 				correct++

@@ -41,7 +41,7 @@ func TestResNetTrainEvalForwardBothWork(t *testing.T) {
 	net := BuildResNet(ResNetConfig{Depth: 8, Classes: 5, InChannels: 3, WidthMult: 0.25, Seed: 3})
 	x := tensor.New(4, 3, 8, 8)
 	tensor.FillNormal(x, tensor.NewRNG(2), 0, 1)
-	yt := net.Forward(x, true)
+	yt := net.Forward(x, true).Clone() // Forward reuses its buffer per call
 	ye := net.Forward(x, false)
 	if !yt.IsFinite() || !ye.IsFinite() {
 		t.Fatal("NaN in forward")

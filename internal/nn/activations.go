@@ -5,15 +5,17 @@ import "github.com/ftpim/ftpim/internal/tensor"
 // ReLU is the rectified linear activation, max(0, x).
 type ReLU struct {
 	mask []bool
+	ws   tensor.Workspace // slot 0: forward out; slot 1: backward dX
 }
 
 // NewReLU returns a ReLU layer.
 func NewReLU() *ReLU { return &ReLU{} }
 
 // Forward clamps negatives to zero, caching the active mask for
-// backward when training.
+// backward when training. The inactive branch writes an explicit zero
+// because the workspace buffer carries the previous iteration's values.
 func (r *ReLU) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
-	out := tensor.New(x.Shape()...)
+	out := r.ws.Get(0, x.Shape()...)
 	xd, od := x.Data(), out.Data()
 	if train {
 		if len(r.mask) < len(xd) {
@@ -24,6 +26,7 @@ func (r *ReLU) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 				od[i] = v
 				r.mask[i] = true
 			} else {
+				od[i] = 0
 				r.mask[i] = false
 			}
 		}
@@ -31,6 +34,8 @@ func (r *ReLU) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 		for i, v := range xd {
 			if v > 0 {
 				od[i] = v
+			} else {
+				od[i] = 0
 			}
 		}
 	}
@@ -39,11 +44,13 @@ func (r *ReLU) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 
 // Backward gates the gradient by the cached activation mask.
 func (r *ReLU) Backward(dOut *tensor.Tensor) *tensor.Tensor {
-	dX := tensor.New(dOut.Shape()...)
+	dX := r.ws.Get(1, dOut.Shape()...)
 	dd, dxd := dOut.Data(), dX.Data()
 	for i, v := range dd {
 		if r.mask[i] {
 			dxd[i] = v
+		} else {
+			dxd[i] = 0
 		}
 	}
 	return dX
@@ -55,21 +62,24 @@ func (r *ReLU) Params() []*Param { return nil }
 // Flatten reshapes (N, C, H, W) to (N, C·H·W).
 type Flatten struct {
 	lastShape []int
+	ws        tensor.Workspace // slot 0: forward view; slot 1: backward view
 }
 
 // NewFlatten returns a Flatten layer.
 func NewFlatten() *Flatten { return &Flatten{} }
 
-// Forward flattens all but the batch dimension.
+// Forward flattens all but the batch dimension. The input's shape is
+// copied, not aliased: upstream layers reuse their shape slices in
+// place, so a retained reference would be silently rewritten.
 func (f *Flatten) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
-	f.lastShape = x.Shape()
+	f.lastShape = append(f.lastShape[:0], x.Shape()...)
 	n := x.Dim(0)
-	return x.Reshape(n, x.Len()/n)
+	return f.ws.View(0, x.Data(), n, x.Len()/n)
 }
 
 // Backward restores the original shape.
 func (f *Flatten) Backward(dOut *tensor.Tensor) *tensor.Tensor {
-	return dOut.Reshape(f.lastShape...)
+	return f.ws.View(1, dOut.Data(), f.lastShape...)
 }
 
 // Params returns nil; Flatten has no parameters.
@@ -79,6 +89,7 @@ func (f *Flatten) Params() []*Param { return nil }
 // mapping (N, C, H, W) to (N, C).
 type GlobalAvgPool2D struct {
 	lastShape []int
+	ws        tensor.Workspace // slot 0: forward out; slot 1: backward dX
 }
 
 // NewGlobalAvgPool2D returns a global average pooling layer.
@@ -87,9 +98,9 @@ func NewGlobalAvgPool2D() *GlobalAvgPool2D { return &GlobalAvgPool2D{} }
 // Forward averages spatially.
 func (g *GlobalAvgPool2D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 	n, c, h, w := x.Dim(0), x.Dim(1), x.Dim(2), x.Dim(3)
-	g.lastShape = x.Shape()
+	g.lastShape = append(g.lastShape[:0], x.Shape()...)
 	area := h * w
-	out := tensor.New(n, c)
+	out := g.ws.Get(0, n, c)
 	xd, od := x.Data(), out.Data()
 	inv := 1 / float32(area)
 	for i := 0; i < n; i++ {
@@ -110,7 +121,7 @@ func (g *GlobalAvgPool2D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 func (g *GlobalAvgPool2D) Backward(dOut *tensor.Tensor) *tensor.Tensor {
 	n, c, h, w := g.lastShape[0], g.lastShape[1], g.lastShape[2], g.lastShape[3]
 	area := h * w
-	dX := tensor.New(n, c, h, w)
+	dX := g.ws.Get(1, n, c, h, w)
 	dd, dxd := dOut.Data(), dX.Data()
 	inv := 1 / float32(area)
 	for i := 0; i < n; i++ {

@@ -1,0 +1,75 @@
+//go:build !race
+
+// Allocation-regression tests for the workspace-backed hot path.
+// Excluded under -race (the race runtime changes allocation behavior);
+// workers are pinned to 1 because spawning shard goroutines allocates.
+
+package nn
+
+import (
+	"testing"
+
+	"github.com/ftpim/ftpim/internal/tensor"
+)
+
+// TestWarmTrainStepAllocs pins the ISSUE budget: a warm forward +
+// loss + backward step over a conv/bn/relu/pool/linear stack must stay
+// within 2 heap allocations per op.
+func TestWarmTrainStepAllocs(t *testing.T) {
+	prev := tensor.SetWorkers(1)
+	defer tensor.SetWorkers(prev)
+
+	rng := tensor.NewRNG(7)
+	net := NewNetwork(
+		NewConv2D("c1", 3, 4, 3, 3, 1, 1, true, rng),
+		NewBatchNorm2D("bn1", 4),
+		NewReLU(),
+		NewBasicBlock("b1", 4, 8, 2, rng),
+		NewGlobalAvgPool2D(),
+		NewFlatten(),
+		NewLinear("fc", 8, 5, rng),
+	)
+	x := tensor.New(2, 3, 8, 8)
+	tensor.FillNormal(x, rng, 0, 1)
+	labels := []int{1, 3}
+	var lossWS tensor.Workspace
+
+	step := func() {
+		net.ZeroGrad()
+		out := net.Forward(x, true)
+		_, dOut := SoftmaxCrossEntropyWS(&lossWS, out, labels)
+		net.Backward(dOut)
+	}
+	for i := 0; i < 3; i++ { // warm all workspaces and scratch
+		step()
+	}
+	if avg := testing.AllocsPerRun(30, step); avg > 2 {
+		t.Fatalf("warm train step allocates %.1f/op, budget is 2", avg)
+	}
+}
+
+// TestWarmEvalForwardAllocs covers the inference path used by
+// metrics.Evaluate: repeated eval-mode forwards must not allocate once
+// the workspaces are warm.
+func TestWarmEvalForwardAllocs(t *testing.T) {
+	prev := tensor.SetWorkers(1)
+	defer tensor.SetWorkers(prev)
+
+	rng := tensor.NewRNG(8)
+	net := NewNetwork(
+		NewConv2D("c1", 3, 4, 3, 3, 1, 1, true, rng),
+		NewBatchNorm2D("bn1", 4),
+		NewReLU(),
+		NewGlobalAvgPool2D(),
+		NewFlatten(),
+		NewLinear("fc", 4, 5, rng),
+	)
+	x := tensor.New(2, 3, 8, 8)
+	tensor.FillNormal(x, rng, 0, 1)
+	for i := 0; i < 3; i++ {
+		net.Forward(x, false)
+	}
+	if avg := testing.AllocsPerRun(30, func() { net.Forward(x, false) }); avg > 0 {
+		t.Fatalf("warm eval forward allocates %.1f/op, want 0", avg)
+	}
+}

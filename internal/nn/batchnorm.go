@@ -22,6 +22,7 @@ type BatchNorm2D struct {
 	lastXHat  *tensor.Tensor
 	invStd    []float32
 	lastShape []int
+	ws        tensor.Workspace // slot 0: forward out; slot 1: backward dX
 }
 
 // NewBatchNorm2D creates a batch-norm layer for c channels.
@@ -47,7 +48,7 @@ func (bn *BatchNorm2D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 	n, h, w := x.Dim(0), x.Dim(2), x.Dim(3)
 	area := h * w
 	cnt := n * area
-	out := tensor.New(x.Shape()...)
+	out := bn.ws.Get(0, x.Shape()...) // every element written below
 	xd, od := x.Data(), out.Data()
 	gd, bd := bn.Gamma.W.Data(), bn.Beta.W.Data()
 
@@ -95,7 +96,7 @@ func (bn *BatchNorm2D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 			rm[c] = float32((1-bn.Momentum)*float64(rm[c]) + bn.Momentum*mean)
 			rv[c] = float32((1-bn.Momentum)*float64(rv[c]) + bn.Momentum*unb)
 		}
-		bn.lastShape = x.Shape()
+		bn.lastShape = append(bn.lastShape[:0], x.Shape()...)
 	} else {
 		rm, rv := bn.RunningMean.Data(), bn.RunningVar.Data()
 		for c := 0; c < bn.C; c++ {
@@ -121,7 +122,7 @@ func (bn *BatchNorm2D) Backward(dOut *tensor.Tensor) *tensor.Tensor {
 	n, h, w := dOut.Dim(0), dOut.Dim(2), dOut.Dim(3)
 	area := h * w
 	cnt := float64(n * area)
-	dX := tensor.New(dOut.Shape()...)
+	dX := bn.ws.Get(1, dOut.Shape()...) // every element written below
 	dd, xh, dxd := dOut.Data(), bn.lastXHat.Data(), dX.Data()
 	gG, gB := bn.Gamma.Grad.Data(), bn.Beta.Grad.Data()
 	gd := bn.Gamma.W.Data()

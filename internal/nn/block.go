@@ -23,6 +23,7 @@ type BasicBlock struct {
 	inC, outC    int
 	stride       int
 	lastInShape  []int
+	ws           tensor.Workspace // slot 0: shortcut out; slot 1: shortcut dX
 }
 
 // NewBasicBlock builds a residual block mapping inC→outC channels with
@@ -42,7 +43,7 @@ func NewBasicBlock(name string, inC, outC, stride int, rng *tensor.RNG) *BasicBl
 
 // Forward runs the residual block.
 func (b *BasicBlock) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
-	b.lastInShape = x.Shape()
+	b.lastInShape = append(b.lastInShape[:0], x.Shape()...)
 	h := b.Conv1.Forward(x, train)
 	h = b.BN1.Forward(h, train)
 	h = b.relu1.Forward(h, train)
@@ -64,7 +65,9 @@ func (b *BasicBlock) shortcutForward(x *tensor.Tensor) *tensor.Tensor {
 	n, _, hIn, wIn := x.Dim(0), x.Dim(1), x.Dim(2), x.Dim(3)
 	hOut := (hIn + b.stride - 1) / b.stride
 	wOut := (wIn + b.stride - 1) / b.stride
-	out := tensor.New(n, b.outC, hOut, wOut)
+	// Zero-padded channels [inC, outC) are never written below, so the
+	// reused buffer must start zeroed.
+	out := b.ws.GetZeroed(0, n, b.outC, hOut, wOut)
 	xd, od := x.Data(), out.Data()
 	for i := 0; i < n; i++ {
 		for c := 0; c < b.inC; c++ {
@@ -85,7 +88,8 @@ func (b *BasicBlock) shortcutBackward(dOut *tensor.Tensor) *tensor.Tensor {
 	n := dOut.Dim(0)
 	hIn, wIn := b.lastInShape[2], b.lastInShape[3]
 	hOut, wOut := dOut.Dim(2), dOut.Dim(3)
-	dX := tensor.New(n, b.inC, hIn, wIn)
+	// Only strided positions are written below; the rest must be zero.
+	dX := b.ws.GetZeroed(1, n, b.inC, hIn, wIn)
 	dd, dxd := dOut.Data(), dX.Data()
 	for i := 0; i < n; i++ {
 		for c := 0; c < b.inC; c++ { // padded channels carry no gradient

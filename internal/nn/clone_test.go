@@ -62,7 +62,9 @@ func TestNetworkCloneIsDeep(t *testing.T) {
 		t.Fatalf("param count %d vs %d", len(np), len(cp))
 	}
 	x := randInput(13)
-	want := net.Forward(x, false)
+	// Forward reuses the layer-owned output buffer, so snapshot it
+	// before running the network again.
+	want := net.Forward(x, false).Clone()
 
 	for _, p := range cp {
 		p.W.Fill(42)
@@ -109,7 +111,7 @@ func TestConvForwardParallelEquivalence(t *testing.T) {
 
 		var want *tensor.Tensor
 		old := tensor.SetWorkers(1)
-		want = conv.Forward(x, false)
+		want = conv.Forward(x, false).Clone() // Forward reuses its buffer
 		for _, w := range []int{2, 4, 16} {
 			tensor.SetWorkers(w)
 			if got := conv.Forward(x, false); !got.Equal(want) {

@@ -22,6 +22,7 @@ type Conv2D struct {
 	colBufs     [][]float32 // per-shard im2col scratch (parallel forward)
 	dColBuf     *tensor.Tensor
 	dWTmp       *tensor.Tensor
+	ws          tensor.Workspace // slot 0: forward out; slot 1: backward dX
 	inH, inW    int
 	outH, outW  int
 }
@@ -58,16 +59,12 @@ func (c *Conv2D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 	c.outW = tensor.ConvOutSize(w, c.KW, c.Stride, c.Pad)
 	outArea := c.outH * c.outW
 	colRows := c.InC * c.KH * c.KW
-	out := tensor.New(n, c.OutC, c.outH, c.outW)
+	// The output (like every layer's) lives in the layer's workspace:
+	// it is valid until the next Forward call and every element is
+	// written below, so Get (unspecified contents) is safe.
+	out := c.ws.Get(0, n, c.OutC, c.outH, c.outW)
 	inStride := c.InC * h * w
 	outStride := c.OutC * outArea
-	oneSample := func(i int, buf []float32) {
-		src := x.Data()[i*inStride : (i+1)*inStride]
-		tensor.Im2Col(src, c.InC, h, w, c.KH, c.KW, c.Stride, c.Pad, buf)
-		col := tensor.FromSlice(buf[:colRows*outArea], colRows, outArea)
-		dst := tensor.FromSlice(out.Data()[i*outStride:(i+1)*outStride], c.OutC, outArea)
-		tensor.MatMulInto(dst, c.Weight.W, col)
-	}
 	if workers := tensor.Workers(); n >= 2 && workers > 1 && n*colRows*outArea*c.OutC >= convShardFlops {
 		// Shard the batch: every shard gets its own im2col scratch so
 		// samples never share mutable state. Results are bit-identical
@@ -86,7 +83,7 @@ func (c *Conv2D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 		}
 		tensor.ParallelForN(workers, n, func(shard, lo, hi int) {
 			for i := lo; i < hi; i++ {
-				oneSample(i, c.colBufs[shard])
+				c.forwardSample(x, out, i, inStride, outStride, colRows, outArea, c.colBufs[shard])
 			}
 		})
 	} else {
@@ -94,7 +91,9 @@ func (c *Conv2D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 			c.colBuf = make([]float32, colRows*outArea)
 		}
 		for i := 0; i < n; i++ {
-			oneSample(i, c.colBuf)
+			// A method rather than a closure: a closure shared with the
+			// parallel branch would escape (one heap alloc) per Forward.
+			c.forwardSample(x, out, i, inStride, outStride, colRows, outArea, c.colBuf)
 		}
 	}
 	if c.Bias != nil {
@@ -116,6 +115,17 @@ func (c *Conv2D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 		c.lastIn = nil
 	}
 	return out
+}
+
+// forwardSample lowers sample i via im2col and multiplies it with the
+// weight matrix straight into the batch output.
+func (c *Conv2D) forwardSample(x, out *tensor.Tensor, i, inStride, outStride, colRows, outArea int, buf []float32) {
+	src := x.Data()[i*inStride : (i+1)*inStride]
+	tensor.Im2Col(src, c.InC, c.inH, c.inW, c.KH, c.KW, c.Stride, c.Pad, buf)
+	// Raw-slice GEMM: the operands are sub-slices of the batch
+	// buffers, so no per-sample tensor headers are allocated.
+	tensor.Gemm(out.Data()[i*outStride:(i+1)*outStride],
+		c.Weight.W.Data(), buf[:colRows*outArea], c.OutC, colRows, outArea)
 }
 
 // Backward accumulates dW (and db) and returns dX. The im2col of each
@@ -140,19 +150,20 @@ func (c *Conv2D) Backward(dOut *tensor.Tensor) *tensor.Tensor {
 	if len(c.colBuf) < colRows*outArea { // parallel Forward leaves this unsized
 		c.colBuf = make([]float32, colRows*outArea)
 	}
-	dX := tensor.New(x.Shape()...)
+	// Col2Im accumulates into its destination, so dX must start zeroed.
+	dX := c.ws.GetZeroed(1, x.Shape()...)
 	for i := 0; i < n; i++ {
 		src := x.Data()[i*inStride : (i+1)*inStride]
 		tensor.Im2Col(src, c.InC, c.inH, c.inW, c.KH, c.KW, c.Stride, c.Pad, c.colBuf)
-		col := tensor.FromSlice(c.colBuf[:colRows*outArea], colRows, outArea)
-		dY := tensor.FromSlice(dOut.Data()[i*outStride:(i+1)*outStride], c.OutC, outArea)
+		col := c.colBuf[:colRows*outArea]
+		dY := dOut.Data()[i*outStride : (i+1)*outStride]
 
 		// dW += dY · colᵀ
-		tensor.MatMulTBInto(c.dWTmp, dY, col)
+		tensor.GemmTB(c.dWTmp.Data(), dY, col, c.OutC, outArea, colRows)
 		c.Weight.Grad.AddInPlace(c.dWTmp)
 
 		// dcol = Wᵀ · dY ; dX_i = col2im(dcol)
-		tensor.MatMulTAInto(c.dColBuf, c.Weight.W, dY)
+		tensor.GemmTA(c.dColBuf.Data(), c.Weight.W.Data(), dY, c.OutC, colRows, outArea)
 		tensor.Col2Im(c.dColBuf.Data(), c.InC, c.inH, c.inW, c.KH, c.KW,
 			c.Stride, c.Pad, dX.Data()[i*inStride:(i+1)*inStride])
 	}

@@ -15,6 +15,7 @@ type Dropout struct {
 	rng *tensor.RNG
 
 	mask []float32
+	ws   tensor.Workspace // slot 0: forward out; slot 1: backward dX
 }
 
 // NewDropout creates a dropout layer with drop probability p.
@@ -30,7 +31,7 @@ func (d *Dropout) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 	if !train || d.P == 0 {
 		return x
 	}
-	out := tensor.New(x.Shape()...)
+	out := d.ws.Get(0, x.Shape()...)
 	xd, od := x.Data(), out.Data()
 	if len(d.mask) < len(xd) {
 		d.mask = make([]float32, len(xd))
@@ -39,6 +40,7 @@ func (d *Dropout) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 	for i, v := range xd {
 		if d.rng.Float64() < d.P {
 			d.mask[i] = 0
+			od[i] = 0 // reused buffer: dropped lanes must be cleared
 		} else {
 			d.mask[i] = keep
 			od[i] = v * keep
@@ -49,7 +51,7 @@ func (d *Dropout) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 
 // Backward gates the gradient by the dropout mask.
 func (d *Dropout) Backward(dOut *tensor.Tensor) *tensor.Tensor {
-	dX := tensor.New(dOut.Shape()...)
+	dX := d.ws.Get(1, dOut.Shape()...)
 	dd, dxd := dOut.Data(), dX.Data()
 	for i, v := range dd {
 		dxd[i] = v * d.mask[i]

@@ -97,7 +97,7 @@ func TestDropoutGradCheck(t *testing.T) {
 	d.Forward(x, true)
 	g1 := tensor.Full(1, 50)
 	g2 := tensor.Full(2, 50)
-	dx1 := d.Backward(g1)
+	dx1 := d.Backward(g1).Clone() // Backward reuses its buffer per call
 	dx2 := d.Backward(g2)
 	for i := range dx1.Data() {
 		if dx2.Data()[i] != 2*dx1.Data()[i] {

@@ -14,6 +14,7 @@ type Linear struct {
 	Weight  *Param
 	Bias    *Param
 	lastIn  *tensor.Tensor
+	ws      tensor.Workspace // slot 0: forward out; slot 1: dW; slot 2: dX
 }
 
 // NewLinear creates a fully connected layer with He initialization.
@@ -33,7 +34,8 @@ func (l *Linear) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 	if x.Rank() != 2 || x.Dim(1) != l.In {
 		panic(fmt.Sprintf("nn: Linear input shape %v, want (N,%d)", x.Shape(), l.In))
 	}
-	out := tensor.MatMulTB(x, l.Weight.W) // (N,in)·(out,in)ᵀ = (N,out)
+	out := l.ws.Get(0, x.Dim(0), l.Out)
+	tensor.MatMulTBInto(out, x, l.Weight.W) // (N,in)·(out,in)ᵀ = (N,out)
 	bd := l.Bias.W.Data()
 	for i := 0; i < out.Dim(0); i++ {
 		row := out.Row(i)
@@ -54,7 +56,8 @@ func (l *Linear) Backward(dOut *tensor.Tensor) *tensor.Tensor {
 	if l.lastIn == nil {
 		panic("nn: Linear.Backward without training Forward")
 	}
-	dW := tensor.MatMulTA(dOut, l.lastIn) // (N,out)ᵀ·(N,in) = (out,in)
+	dW := l.ws.Get(1, l.Out, l.In)
+	tensor.MatMulTAInto(dW, dOut, l.lastIn) // (N,out)ᵀ·(N,in) = (out,in)
 	l.Weight.Grad.AddInPlace(dW)
 	gd := l.Bias.Grad.Data()
 	for i := 0; i < dOut.Dim(0); i++ {
@@ -63,7 +66,9 @@ func (l *Linear) Backward(dOut *tensor.Tensor) *tensor.Tensor {
 			gd[j] += v
 		}
 	}
-	return tensor.MatMul(dOut, l.Weight.W) // (N,out)·(out,in) = (N,in)
+	dX := l.ws.Get(2, dOut.Dim(0), l.In)
+	tensor.MatMulInto(dX, dOut, l.Weight.W) // (N,out)·(out,in) = (N,in)
+	return dX
 }
 
 // Params returns the layer's parameters.

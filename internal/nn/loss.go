@@ -14,11 +14,26 @@ import (
 // form, which is numerically stable because softmax is computed with
 // the row-max subtracted.
 func SoftmaxCrossEntropy(logits *tensor.Tensor, labels []int) (loss float64, dLogits *tensor.Tensor) {
-	n, c := logits.Dim(0), logits.Dim(1)
+	return softmaxCrossEntropy(tensor.Softmax(logits, nil), labels)
+}
+
+// SoftmaxCrossEntropyWS is SoftmaxCrossEntropy drawing its probability
+// buffer (which doubles as the returned gradient) from ws slot 0, so a
+// warm training loop pays no allocation for the loss. The gradient is
+// valid until the next call with the same workspace.
+func SoftmaxCrossEntropyWS(ws *tensor.Workspace, logits *tensor.Tensor, labels []int) (loss float64, dLogits *tensor.Tensor) {
+	probs := ws.Get(0, logits.Shape()...)
+	tensor.Softmax(logits, probs)
+	return softmaxCrossEntropy(probs, labels)
+}
+
+// softmaxCrossEntropy turns softmax probabilities into the mean loss and
+// in-place gradient shared by both entry points above.
+func softmaxCrossEntropy(probs *tensor.Tensor, labels []int) (loss float64, dLogits *tensor.Tensor) {
+	n, c := probs.Dim(0), probs.Dim(1)
 	if len(labels) != n {
 		panic("nn: SoftmaxCrossEntropy label count mismatch")
 	}
-	probs := tensor.Softmax(logits, nil)
 	dLogits = probs // reuse: gradient is probs with label column shifted
 	invN := float32(1 / float64(n))
 	for i := 0; i < n; i++ {

@@ -15,6 +15,11 @@ import (
 // masks.
 type Network struct {
 	Body *Sequential
+
+	// params caches the flattened parameter list. Layer topology is
+	// fixed after construction, and Load mutates parameter tensors in
+	// place (pointer identity is stable), so the cache never goes stale.
+	params []*Param
 }
 
 // NewNetwork wraps the given layers.
@@ -32,8 +37,14 @@ func (n *Network) Backward(dOut *tensor.Tensor) *tensor.Tensor {
 	return n.Body.Backward(dOut)
 }
 
-// Params returns all learnable parameters in a stable order.
-func (n *Network) Params() []*Param { return n.Body.Params() }
+// Params returns all learnable parameters in a stable order. The list
+// is computed once and cached; callers must not append to it.
+func (n *Network) Params() []*Param {
+	if n.params == nil {
+		n.params = n.Body.Params()
+	}
+	return n.params
+}
 
 // WeightParams returns only the weight-decayed parameters — conv and
 // linear weight matrices — which are the tensors mapped onto ReRAM

@@ -197,10 +197,22 @@ func (x *Crossbar) NumFaults() int {
 // an input voltage vector v of length Rows — the crossbar's in-situ
 // dot product.
 func (x *Crossbar) MatVec(v []float64) []float64 {
+	return x.MatVecInto(make([]float64, x.Cols), v)
+}
+
+// MatVecInto is MatVec accumulating into a caller-provided destination
+// of length Cols (overwritten), returning it. Hot evaluation loops
+// reuse one destination per tile to avoid per-call allocation.
+func (x *Crossbar) MatVecInto(out, v []float64) []float64 {
 	if len(v) != x.Rows {
 		panic(fmt.Sprintf("reram: MatVec input length %d, want %d", len(v), x.Rows))
 	}
-	out := make([]float64, x.Cols)
+	if len(out) != x.Cols {
+		panic(fmt.Sprintf("reram: MatVec destination length %d, want %d", len(out), x.Cols))
+	}
+	for c := range out {
+		out[c] = 0
+	}
 	for r := 0; r < x.Rows; r++ {
 		vr := v[r]
 		if vr == 0 {

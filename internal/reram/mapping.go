@@ -41,6 +41,9 @@ type MappedMatrix struct {
 	pos, neg [][]*Crossbar
 	rowTiles int
 	colTiles int
+
+	// MatVec scratch, built on first use (see MatVecInto).
+	mvY, mvV, mvPos, mvNeg []float64
 }
 
 // MapMatrix programs w (out×in) onto differential crossbar tiles.
@@ -173,14 +176,34 @@ func (m *MappedMatrix) EffectiveWeights() *tensor.Tensor {
 // optional per-tile ADC quantization of partial sums, and returns the
 // result scaled back to weight units.
 func (m *MappedMatrix) MatVec(x []float32) []float32 {
+	return m.MatVecInto(make([]float32, m.OutDim), x)
+}
+
+// MatVecInto is MatVec writing into a caller-provided destination of
+// length OutDim, returning it. The tile accumulators are cached on the
+// matrix, so warm calls do not allocate; consequently a MappedMatrix is
+// not safe for concurrent MatVec use.
+func (m *MappedMatrix) MatVecInto(out []float32, x []float32) []float32 {
 	if len(x) != m.InDim {
 		panic(fmt.Sprintf("reram: MatVec input length %d, want %d", len(x), m.InDim))
 	}
-	y := make([]float64, m.OutDim)
+	if len(out) != m.OutDim {
+		panic(fmt.Sprintf("reram: MatVec destination length %d, want %d", len(out), m.OutDim))
+	}
+	if m.mvY == nil {
+		m.mvY = make([]float64, m.OutDim)
+		m.mvV = make([]float64, m.Opts.TileRows)
+		m.mvPos = make([]float64, m.Opts.TileCols)
+		m.mvNeg = make([]float64, m.Opts.TileCols)
+	}
+	y := m.mvY
+	for i := range y {
+		y[i] = 0
+	}
 	for rt := 0; rt < m.rowTiles; rt++ {
 		lo := rt * m.Opts.TileRows
 		hi := minInt(lo+m.Opts.TileRows, m.InDim)
-		v := make([]float64, hi-lo)
+		v := m.mvV[:hi-lo]
 		var vmax float64
 		for i := lo; i < hi; i++ {
 			v[i-lo] = float64(x[i])
@@ -189,8 +212,9 @@ func (m *MappedMatrix) MatVec(x []float32) []float32 {
 			}
 		}
 		for ct := 0; ct < m.colTiles; ct++ {
-			ip := m.pos[rt][ct].MatVec(v)
-			in := m.neg[rt][ct].MatVec(v)
+			cols := m.pos[rt][ct].Cols
+			ip := m.pos[rt][ct].MatVecInto(m.mvPos[:cols], v)
+			in := m.neg[rt][ct].MatVecInto(m.mvNeg[:cols], v)
 			colBase := ct * m.Opts.TileCols
 			for c := range ip {
 				diff := ip[c] - in[c]
@@ -201,7 +225,6 @@ func (m *MappedMatrix) MatVec(x []float32) []float32 {
 			}
 		}
 	}
-	out := make([]float32, m.OutDim)
 	inv := 1 / m.gPerW
 	for i, v := range y {
 		out[i] = float32(v * inv)

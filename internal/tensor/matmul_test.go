@@ -269,3 +269,45 @@ func BenchmarkIm2Col32(b *testing.B) {
 		Im2Col(src, c, h, w, 3, 3, 1, 1, dst)
 	}
 }
+
+// benchGemm256 times one of the packed kernels on the 256^3 reference
+// shape with a pinned worker count, so serial kernel speed is measured
+// apart from sharding.
+func benchGemm256(b *testing.B, workers int, run func(out, x, y *Tensor)) {
+	old := SetWorkers(workers)
+	defer SetWorkers(old)
+	r := NewRNG(11)
+	x, y := randMat(r, 256, 256), randMat(r, 256, 256)
+	out := New(256, 256)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		run(out, x, y)
+	}
+}
+
+func BenchmarkGemm256Serial(b *testing.B) {
+	benchGemm256(b, 1, func(out, x, y *Tensor) { MatMulInto(out, x, y) })
+}
+
+func BenchmarkGemmTA256Serial(b *testing.B) {
+	benchGemm256(b, 1, func(out, x, y *Tensor) { MatMulTAInto(out, x, y) })
+}
+
+func BenchmarkGemmTB256Serial(b *testing.B) {
+	benchGemm256(b, 1, func(out, x, y *Tensor) { MatMulTBInto(out, x, y) })
+}
+
+// The Ref variants time the pre-blocking reference kernels (the old
+// implementations, kept as bitwise oracles) on the same shape, so the
+// packed kernels' speedup can be re-measured in one binary.
+func BenchmarkGemmRef256Serial(b *testing.B) {
+	benchGemm256(b, 1, func(out, x, y *Tensor) { matMulRows(out.Data(), x.Data(), y.Data(), 256, 256, 0, 256) })
+}
+
+func BenchmarkGemmTARef256Serial(b *testing.B) {
+	benchGemm256(b, 1, func(out, x, y *Tensor) { matMulTARef(out.Data(), x.Data(), y.Data(), 256, 256, 256) })
+}
+
+func BenchmarkGemmTBRef256Serial(b *testing.B) {
+	benchGemm256(b, 1, func(out, x, y *Tensor) { matMulTBRows(out.Data(), x.Data(), y.Data(), 256, 256, 0, 256) })
+}

@@ -82,6 +82,32 @@ func TestMatMulTBParallelEquivalence(t *testing.T) {
 	}
 }
 
+// TestMatMulTAParallelEquivalence does the same for Aᵀ·B, the
+// weight-gradient kernel. Its shards are column ranges of A that get
+// packed into contiguous panels, so this additionally pins that the
+// pack-and-accumulate path matches the serial full-matrix path.
+func TestMatMulTAParallelEquivalence(t *testing.T) {
+	for _, sh := range matmulShapes {
+		// Reuse the grid as (k, m, n): A is k×m, out is m×n.
+		r := NewRNG(uint64(sh.m*7 + sh.k*3 + sh.n))
+		a, b := New(sh.m, sh.k), New(sh.m, sh.n)
+		FillNormal(a, r, 0, 1)
+		FillNormal(b, r, 0, 1)
+		for i := 0; i < a.Len(); i += 5 {
+			a.Data()[i] = 0
+		}
+		want := New(sh.k, sh.n)
+		withWorkers(1, func() { MatMulTAInto(want, a, b) })
+		for _, w := range []int{2, 3, 8, 64} {
+			got := Full(999, sh.k, sh.n)
+			withWorkers(w, func() { MatMulTAInto(got, a, b) })
+			if !got.Equal(want) {
+				t.Fatalf("MatMulTA %dx%dx%d differs at workers=%d", sh.m, sh.k, sh.n, w)
+			}
+		}
+	}
+}
+
 // TestParallelForNCoverage checks the chunking contract: every index
 // covered exactly once, shard indices dense and below min(w, n).
 func TestParallelForNCoverage(t *testing.T) {

@@ -3,7 +3,6 @@ package tensor
 import (
 	"encoding/binary"
 	"errors"
-	"hash/fnv"
 	"math"
 	"math/rand/v2"
 )
@@ -56,22 +55,51 @@ func (r *RNG) UnmarshalState(b []byte) error {
 // Seed returns the seed the RNG was created with.
 func (r *RNG) Seed() uint64 { return r.seed }
 
+// Reseed resets the RNG in place to the stream NewRNG(seed) would
+// produce, without allocating. Hot loops that draw a fresh positional
+// stream per iteration (fault.Injector.InjectRun) reuse one RNG this
+// way instead of constructing a new one per run.
+func (r *RNG) Reseed(seed uint64) {
+	r.src.Seed(seed, seed^0x9e3779b97f4a7c15)
+	r.seed = seed
+}
+
+// fnv64a is an inline FNV-1a hash of s — hash/fnv forces the input
+// through an io.Writer interface, which allocates; this does not.
+func fnv64a(s string) uint64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 1099511628211
+	}
+	return h
+}
+
+// StreamSeed returns the seed of the child stream (root, name) — the
+// seed Stream derives, exposed so callers can Reseed a cached RNG onto
+// the stream without allocating.
+func StreamSeed(root uint64, name string) uint64 {
+	return root ^ fnv64a(name)
+}
+
+// StreamSeedN returns the seed of the indexed child stream
+// (root, name, n), matching StreamN.
+func StreamSeedN(root uint64, name string, n int) uint64 {
+	child := root ^ fnv64a(name)
+	return child*0x9e3779b97f4a7c15 + uint64(n)*0xbf58476d1ce4e5b9 + 0x94d049bb133111eb
+}
+
 // Stream derives an independent child RNG named by a string. Two
 // streams with different names are statistically independent; the same
 // (seed, name) pair always yields the same stream.
 func (r *RNG) Stream(name string) *RNG {
-	h := fnv.New64a()
-	h.Write([]byte(name))
-	return NewRNG(r.seed ^ h.Sum64())
+	return NewRNG(StreamSeed(r.seed, name))
 }
 
 // StreamN derives an independent child RNG named by a string and an
 // index, for per-run / per-epoch sub-streams.
 func (r *RNG) StreamN(name string, n int) *RNG {
-	h := fnv.New64a()
-	h.Write([]byte(name))
-	child := r.seed ^ h.Sum64()
-	return NewRNG(child*0x9e3779b97f4a7c15 + uint64(n)*0xbf58476d1ce4e5b9 + 0x94d049bb133111eb)
+	return NewRNG(StreamSeedN(r.seed, name, n))
 }
 
 // Normal returns a normally distributed float32 with the given mean and

@@ -107,6 +107,39 @@ func (t *Tensor) Reshape(shape ...int) *Tensor {
 	return &Tensor{shape: s, data: t.data}
 }
 
+// SetView repoints t at data (shared, not copied) with the given shape.
+// It is the allocation-free counterpart of FromSlice for hot loops that
+// re-slice a larger buffer every iteration: the tensor struct and its
+// shape slice are reused in place. len(data) must equal the shape's
+// element count.
+func (t *Tensor) SetView(data []float32, shape ...int) {
+	n := 1
+	for _, d := range shape {
+		if d < 0 {
+			// The messages avoid formatting shape itself: referencing it
+			// would make the variadic slice escape on every call.
+			panic(fmt.Sprintf("tensor: negative dimension %d in SetView shape", d))
+		}
+		n *= d
+	}
+	if len(data) != n {
+		panic(fmt.Sprintf("tensor: SetView data length %d, shape wants %d elements", len(data), n))
+	}
+	t.data = data
+	t.setShape(shape)
+}
+
+// setShape copies shape into t.shape, reusing the existing slice when
+// its capacity suffices.
+func (t *Tensor) setShape(shape []int) {
+	if cap(t.shape) >= len(shape) {
+		t.shape = t.shape[:len(shape)]
+	} else {
+		t.shape = make([]int, len(shape))
+	}
+	copy(t.shape, shape)
+}
+
 // Clone returns a deep copy of t.
 func (t *Tensor) Clone() *Tensor {
 	c := New(t.shape...)

@@ -1,0 +1,66 @@
+package tensor
+
+// Workspace is a small slot-indexed arena of reusable tensors. Layers
+// and loops that produce the same-shaped intermediate every iteration
+// draw it from a workspace slot instead of allocating: after the first
+// call, Get and View are allocation-free as long as the requested size
+// fits the slot's current capacity.
+//
+// A Workspace is NOT safe for concurrent use. The intended ownership is
+// one workspace per layer (or per cloned network, per goroutine): the
+// parallel evaluation protocol in internal/core gives every worker its
+// own deep clone, so workspaces are never shared across goroutines.
+//
+// A tensor returned by Get or View remains valid only until the next
+// Get/View on the same slot; callers that retain a result across
+// iterations must Clone it. By convention a given slot is used either
+// always through Get or always through View — mixing the two on one
+// slot would let Get scribble over the foreign memory a View aliased.
+type Workspace struct {
+	slots []*Tensor
+}
+
+// Get returns the slot's tensor resized to shape, reusing its storage
+// when the capacity suffices. The contents are unspecified — callers
+// must overwrite every element or use GetZeroed.
+func (w *Workspace) Get(slot int, shape ...int) *Tensor {
+	t := w.slot(slot)
+	n := 1
+	for _, d := range shape {
+		if d < 0 {
+			panic("tensor: negative dimension in Workspace.Get")
+		}
+		n *= d
+	}
+	if cap(t.data) < n {
+		t.data = make([]float32, n)
+	} else {
+		t.data = t.data[:n]
+	}
+	t.setShape(shape)
+	return t
+}
+
+// GetZeroed is Get with every element set to zero.
+func (w *Workspace) GetZeroed(slot int, shape ...int) *Tensor {
+	t := w.Get(slot, shape...)
+	t.Zero()
+	return t
+}
+
+// View repoints the slot's tensor at data (shared, not copied) with the
+// given shape — an allocation-free Reshape/FromSlice for hot paths.
+// len(data) must equal the shape's element count.
+func (w *Workspace) View(slot int, data []float32, shape ...int) *Tensor {
+	t := w.slot(slot)
+	t.SetView(data, shape...)
+	return t
+}
+
+// slot returns the slot's tensor, growing the slot table on first use.
+func (w *Workspace) slot(i int) *Tensor {
+	for len(w.slots) <= i {
+		w.slots = append(w.slots, &Tensor{})
+	}
+	return w.slots[i]
+}
