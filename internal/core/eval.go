@@ -4,6 +4,7 @@ import (
 	"context"
 	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"github.com/ftpim/ftpim/internal/data"
@@ -85,6 +86,50 @@ func EvalClean(net *nn.Network, ds *data.Dataset, batch int) float64 {
 	return metrics.Evaluate(net, ds, batch)
 }
 
+// cloneEntry is one reusable Monte-Carlo worker state: a deep clone of
+// the source network plus the injector bound to its weight tensors.
+type cloneEntry struct {
+	net *nn.Network
+	inj *fault.Injector
+}
+
+// clonePool hands worker clones out across the EvalDefect calls of one
+// sweep. A clone is safe to reuse between rates because every lesion is
+// undone bitwise before the entry is returned and the source network is
+// not mutated in between — so a pooled clone is indistinguishable from
+// a fresh one, and results stay bit-identical to per-call cloning. Only
+// the scheduling changes: a sweep creates at most Workers clones total
+// instead of Workers per rate.
+type clonePool struct {
+	mu      sync.Mutex
+	src     *nn.Network
+	model   fault.Model
+	entries []*cloneEntry
+}
+
+// evalCloneCreates counts clone constructions for the pool-reuse test.
+var evalCloneCreates atomic.Int64
+
+func (p *clonePool) get() *cloneEntry {
+	p.mu.Lock()
+	if n := len(p.entries); n > 0 {
+		e := p.entries[n-1]
+		p.entries = p.entries[:n-1]
+		p.mu.Unlock()
+		return e
+	}
+	p.mu.Unlock()
+	evalCloneCreates.Add(1)
+	clone := p.src.Clone()
+	return &cloneEntry{net: clone, inj: fault.NewInjector(p.model, WeightTensors(clone))}
+}
+
+func (p *clonePool) put(e *cloneEntry) {
+	p.mu.Lock()
+	p.entries = append(p.entries, e)
+	p.mu.Unlock()
+}
+
 // EvalDefect measures the model's accuracy under stuck-at faults at
 // rate psa, averaged over cfg.Runs independent injections. The
 // network's weights are identical before and after the call. With
@@ -96,7 +141,14 @@ func EvalClean(net *nn.Network, ds *data.Dataset, batch int) float64 {
 // always restored. On cancellation the Summary is the zero value and
 // the error is ctx's.
 func EvalDefect(ctx context.Context, net *nn.Network, ds *data.Dataset, psa float64, cfg DefectEval) (metrics.Summary, error) {
-	cfg = cfg.Normalize()
+	return evalDefect(ctx, net, ds, psa, cfg.Normalize(), nil)
+}
+
+// evalDefect is EvalDefect with an optional worker-clone pool: nil
+// means per-call clones (the standalone entry point); EvalDefectSweep
+// passes one pool so clones survive across its rates. cfg must already
+// be normalized.
+func evalDefect(ctx context.Context, net *nn.Network, ds *data.Dataset, psa float64, cfg DefectEval, pool *clonePool) (metrics.Summary, error) {
 	sink := cfg.Sink
 	start := time.Now()
 	if psa == 0 {
@@ -112,7 +164,7 @@ func EvalDefect(ctx context.Context, net *nn.Network, ds *data.Dataset, psa floa
 		return metrics.Summarize([]float64{acc}), nil
 	}
 	if cfg.Workers > 1 && cfg.Runs > 1 {
-		return evalDefectParallel(ctx, net, ds, psa, cfg, start)
+		return evalDefectParallel(ctx, net, ds, psa, cfg, start, pool)
 	}
 	// Serial reference path: inject into the live network, evaluate,
 	// undo. The parallel path must match this bit for bit.
@@ -142,11 +194,13 @@ func EvalDefect(ctx context.Context, net *nn.Network, ds *data.Dataset, psa floa
 // so the live network cannot be shared); run r draws from fault.RunRNG
 // (cfg.Seed, r) exactly as the serial loop does and stores its
 // accuracy at index r, so the Summary is computed over the identical
-// value sequence regardless of scheduling. On cancellation the
-// dispatcher stops handing out runs, the workers drain and finish
-// their clones (the live network was never touched), and the zero
-// Summary plus ctx's error is returned.
-func evalDefectParallel(ctx context.Context, net *nn.Network, ds *data.Dataset, psa float64, cfg DefectEval, start time.Time) (metrics.Summary, error) {
+// value sequence regardless of scheduling. When pool is non-nil the
+// worker clones are checked out of it and returned on exit, so a
+// multi-rate sweep reuses them instead of re-cloning per rate. On
+// cancellation the dispatcher stops handing out runs, the workers
+// drain and finish their clones (the live network was never touched),
+// and the zero Summary plus ctx's error is returned.
+func evalDefectParallel(ctx context.Context, net *nn.Network, ds *data.Dataset, psa float64, cfg DefectEval, start time.Time, pool *clonePool) (metrics.Summary, error) {
 	w := cfg.Workers
 	if w > cfg.Runs {
 		w = cfg.Runs
@@ -159,14 +213,21 @@ func evalDefectParallel(ctx context.Context, net *nn.Network, ds *data.Dataset, 
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			clone := net.Clone()
-			inj := fault.NewInjector(cfg.Model, WeightTensors(clone))
+			var e *cloneEntry
+			if pool != nil {
+				e = pool.get()
+				defer pool.put(e)
+			} else {
+				evalCloneCreates.Add(1)
+				clone := net.Clone()
+				e = &cloneEntry{net: clone, inj: fault.NewInjector(cfg.Model, WeightTensors(clone))}
+			}
 			for run := range jobs {
 				if ctx.Err() != nil {
 					continue // drain without evaluating
 				}
-				lesion := inj.InjectRun(cfg.Seed, run, psa)
-				acc := metrics.Evaluate(clone, ds, cfg.Batch)
+				lesion := e.inj.InjectRun(cfg.Seed, run, psa)
+				acc := metrics.Evaluate(e.net, ds, cfg.Batch)
 				lesion.Undo()
 				accs[run] = acc
 				if sink.Enabled() {
@@ -198,18 +259,25 @@ dispatch:
 // rates, returning mean defect accuracy per rate — one Table I row.
 // Each rate's Monte-Carlo loop is parallelized by EvalDefect (rates
 // keep their independent derived seeds, so the sweep is bit-identical
-// at any cfg.Workers).
+// at any cfg.Workers). Worker network clones are pooled across the
+// rates: the sweep clones at most cfg.Workers times total rather than
+// per rate — a scheduling-only change, since every lesion is undone
+// bitwise before a clone is reused.
 //
 // On cancellation the summaries of the rates completed so far are
 // returned together with ctx's error; the in-flight rate is dropped.
 func EvalDefectSweep(ctx context.Context, net *nn.Network, ds *data.Dataset, rates []float64, cfg DefectEval) ([]metrics.Summary, error) {
 	cfg = cfg.Normalize()
 	sink := cfg.Sink
+	var pool *clonePool
+	if cfg.Workers > 1 && cfg.Runs > 1 {
+		pool = &clonePool{src: net, model: cfg.Model}
+	}
 	out := make([]metrics.Summary, 0, len(rates))
 	for i, r := range rates {
 		c := cfg
 		c.Seed = cfg.Seed + uint64(i)*7_919
-		s, err := EvalDefect(ctx, net, ds, r, c)
+		s, err := evalDefect(ctx, net, ds, r, c, pool)
 		if err != nil {
 			return out, err
 		}

@@ -1,0 +1,62 @@
+// Internal test for the sweep clone pool: the create counter is
+// unexported, so this lives in package core (unlike the determinism
+// suite in parallel_test.go, which needs internal/experiments).
+package core
+
+import (
+	"context"
+	"testing"
+
+	"github.com/ftpim/ftpim/internal/data"
+	"github.com/ftpim/ftpim/internal/nn"
+	"github.com/ftpim/ftpim/internal/tensor"
+)
+
+func poolFixture() (*nn.Network, *data.Dataset) {
+	rng := tensor.NewRNG(5)
+	net := nn.NewNetwork(
+		nn.NewConv2D("c1", 3, 4, 3, 3, 1, 1, false, rng),
+		nn.NewBatchNorm2D("bn1", 4),
+		nn.NewReLU(),
+		nn.NewGlobalAvgPool2D(),
+		nn.NewFlatten(),
+		nn.NewLinear("fc", 4, 4, rng),
+	)
+	cfg := data.SynthC10()
+	cfg.Classes, cfg.TrainPer, cfg.TestPer, cfg.Size = 4, 4, 8, 8
+	_, test := data.Generate(cfg)
+	return net, test
+}
+
+// TestEvalDefectSweepReusesClones pins the scheduling optimization: a
+// multi-rate sweep must construct at most Workers clones in total —
+// not Workers per rate — and produce the same summaries as standalone
+// EvalDefect calls with the per-rate derived seeds.
+func TestEvalDefectSweepReusesClones(t *testing.T) {
+	net, test := poolFixture()
+	rates := []float64{0.01, 0.05, 0.1, 0.2}
+	cfg := DefectEval{Runs: 6, Batch: 16, Seed: 77, Workers: 3}
+
+	before := evalCloneCreates.Load()
+	got, err := EvalDefectSweep(context.Background(), net, test, rates, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	created := evalCloneCreates.Load() - before
+	if created > int64(cfg.Workers) {
+		t.Fatalf("sweep over %d rates created %d clones, want <= %d",
+			len(rates), created, cfg.Workers)
+	}
+
+	for i, r := range rates {
+		c := cfg
+		c.Seed = cfg.Seed + uint64(i)*7_919
+		want, err := EvalDefect(context.Background(), net, test, r, c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got[i] != want {
+			t.Fatalf("rate %g: pooled sweep %+v != standalone %+v", r, got[i], want)
+		}
+	}
+}

@@ -48,6 +48,34 @@ func TestWarmTrainStepAllocs(t *testing.T) {
 	}
 }
 
+// TestWarmConvAllocs isolates the fused implicit-GEMM convolution:
+// once the layer's workspace slots (out, dX, dW chunks) and the tensor
+// package's panel pool are warm, a forward + backward pair must not
+// allocate at all — the column matrix the old lowering materialized is
+// gone, not merely pooled.
+func TestWarmConvAllocs(t *testing.T) {
+	prev := tensor.SetWorkers(1)
+	defer tensor.SetWorkers(prev)
+
+	rng := tensor.NewRNG(9)
+	conv := NewConv2D("c", 4, 8, 3, 3, 1, 1, false, rng)
+	x := tensor.New(4, 4, 12, 12)
+	tensor.FillNormal(x, rng, 0, 1)
+	dOut := tensor.New(4, 8, 12, 12)
+	tensor.FillNormal(dOut, rng, 0, 1)
+	step := func() {
+		conv.Weight.Grad.Zero()
+		conv.Forward(x, true)
+		conv.Backward(dOut)
+	}
+	for i := 0; i < 3; i++ {
+		step()
+	}
+	if avg := testing.AllocsPerRun(30, step); avg > 0 {
+		t.Fatalf("warm fused conv fwd+bwd allocates %.1f/op, want 0", avg)
+	}
+}
+
 // TestWarmEvalForwardAllocs covers the inference path used by
 // metrics.Evaluate: repeated eval-mode forwards must not allocate once
 // the workspaces are warm.

@@ -99,9 +99,9 @@ func TestNetworkCloneStateRoundTrip(t *testing.T) {
 	}
 }
 
-// TestConvForwardParallelEquivalence checks the batch-sharded conv
-// forward is bit-identical to the serial loop, including shapes where
-// the batch does not divide evenly across shards.
+// TestConvForwardParallelEquivalence checks the panel-sharded implicit-
+// GEMM conv forward is bit-identical to the serial path, including
+// shapes where the column panels do not divide evenly across shards.
 func TestConvForwardParallelEquivalence(t *testing.T) {
 	rng := tensor.NewRNG(3)
 	for _, n := range []int{1, 2, 3, 5, 8, 13} {
@@ -124,8 +124,7 @@ func TestConvForwardParallelEquivalence(t *testing.T) {
 }
 
 // TestConvTrainAfterParallelForward checks backward still works when
-// the preceding forward took the parallel branch (the shared colBuf is
-// sized lazily in Backward).
+// the preceding forward took the parallel branch.
 func TestConvTrainAfterParallelForward(t *testing.T) {
 	old := tensor.SetWorkers(8)
 	defer tensor.SetWorkers(old)
@@ -140,5 +139,35 @@ func TestConvTrainAfterParallelForward(t *testing.T) {
 	}
 	if !conv.Weight.Grad.IsFinite() {
 		t.Fatal("non-finite weight gradient")
+	}
+}
+
+// TestConvBackwardParallelEquivalence checks the sample-sharded fused
+// backward produces bit-identical gradients at every worker count,
+// including batches that do not divide evenly across shards.
+func TestConvBackwardParallelEquivalence(t *testing.T) {
+	rng := tensor.NewRNG(17)
+	for _, n := range []int{1, 3, 5, 8} {
+		conv := NewConv2D("c", 4, 9, 3, 3, 1, 1, false, rng)
+		x := tensor.New(n, 4, 10, 10)
+		tensor.FillNormal(x, tensor.NewRNG(uint64(n)+40), 0, 1)
+		dOut := tensor.New(n, 9, 10, 10)
+		tensor.FillNormal(dOut, tensor.NewRNG(uint64(n)+80), 0, 1)
+
+		old := tensor.SetWorkers(1)
+		conv.Forward(x, true)
+		wantDX := conv.Backward(dOut).Clone() // Backward reuses its buffer
+		wantDW := conv.Weight.Grad.Clone()
+		for _, w := range []int{2, 4, 16} {
+			tensor.SetWorkers(w)
+			conv.Weight.Grad.Zero()
+			conv.Forward(x, true)
+			dX := conv.Backward(dOut)
+			if !dX.Equal(wantDX) || !conv.Weight.Grad.Equal(wantDW) {
+				tensor.SetWorkers(old)
+				t.Fatalf("conv backward differs at n=%d workers=%d", n, w)
+			}
+		}
+		tensor.SetWorkers(old)
 	}
 }

@@ -6,11 +6,14 @@ import (
 	"github.com/ftpim/ftpim/internal/tensor"
 )
 
-// Conv2D is a 2-D convolution over NCHW inputs, lowered to GEMM via
-// im2col. Weights are stored flat as (outC, inC·kh·kw), which is also
-// the layout mapped onto ReRAM crossbar columns by internal/reram.
-// Bias is optional and off by default (batch norm follows every conv in
-// the ResNet models).
+// Conv2D is a 2-D convolution over NCHW inputs, lowered to GEMM
+// implicitly: input patches are packed straight into the blocked GEMM's
+// column panels (tensor.ConvGemmForward/Backward) and the whole batch
+// runs as one OutC × (InC·kh·kw) × (N·outH·outW) product — no column
+// matrix is ever materialized. Weights are stored flat as
+// (outC, inC·kh·kw), which is also the layout mapped onto ReRAM
+// crossbar columns by internal/reram. Bias is optional and off by
+// default (batch norm follows every conv in the ResNet models).
 type Conv2D struct {
 	InC, OutC   int
 	KH, KW      int
@@ -18,20 +21,11 @@ type Conv2D struct {
 	Weight      *Param
 	Bias        *Param // nil when disabled
 	lastIn      *tensor.Tensor
-	colBuf      []float32   // per-sample im2col scratch (serial path, backward)
-	colBufs     [][]float32 // per-shard im2col scratch (parallel forward)
-	dColBuf     *tensor.Tensor
-	dWTmp       *tensor.Tensor
-	ws          tensor.Workspace // slot 0: forward out; slot 1: backward dX
-	inH, inW    int
-	outH, outW  int
+	// ws slots: 0 forward out; 1 backward dX; 2 per-sample dW chunks.
+	ws         tensor.Workspace
+	inH, inW   int
+	outH, outW int
 }
-
-// convShardFlops is the minimum per-forward multiply count above which
-// the batch loop shards samples across goroutines. Each sample's
-// lowering and GEMM are fully independent, so sharding is bit-identical
-// to the serial loop.
-const convShardFlops = 1 << 16
 
 // NewConv2D creates a 3×3-style convolution layer. He initialization
 // is applied with fan-in inC·kh·kw.
@@ -48,7 +42,10 @@ func NewConv2D(name string, inC, outC, kh, kw, stride, pad int, bias bool, rng *
 	return c
 }
 
-// Forward computes the convolution for an NCHW batch.
+// Forward computes the convolution for an NCHW batch as one implicit
+// GEMM over the whole batch; panel sharding inside ConvGemmForward
+// parallelizes across output columns, bit-identical at any worker
+// count.
 func (c *Conv2D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 	if x.Rank() != 4 || x.Dim(1) != c.InC {
 		panic(fmt.Sprintf("nn: Conv2D input shape %v, want (N,%d,H,W)", x.Shape(), c.InC))
@@ -58,47 +55,16 @@ func (c *Conv2D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 	c.outH = tensor.ConvOutSize(h, c.KH, c.Stride, c.Pad)
 	c.outW = tensor.ConvOutSize(w, c.KW, c.Stride, c.Pad)
 	outArea := c.outH * c.outW
-	colRows := c.InC * c.KH * c.KW
 	// The output (like every layer's) lives in the layer's workspace:
 	// it is valid until the next Forward call and every element is
-	// written below, so Get (unspecified contents) is safe.
+	// written by the GEMM, so Get (unspecified contents) is safe.
 	out := c.ws.Get(0, n, c.OutC, c.outH, c.outW)
-	inStride := c.InC * h * w
-	outStride := c.OutC * outArea
-	if workers := tensor.Workers(); n >= 2 && workers > 1 && n*colRows*outArea*c.OutC >= convShardFlops {
-		// Shard the batch: every shard gets its own im2col scratch so
-		// samples never share mutable state. Results are bit-identical
-		// to the serial loop because samples are independent.
-		shards := workers
-		if shards > n {
-			shards = n
-		}
-		for len(c.colBufs) < shards {
-			c.colBufs = append(c.colBufs, nil)
-		}
-		for s := 0; s < shards; s++ {
-			if len(c.colBufs[s]) < colRows*outArea {
-				c.colBufs[s] = make([]float32, colRows*outArea)
-			}
-		}
-		tensor.ParallelForN(workers, n, func(shard, lo, hi int) {
-			for i := lo; i < hi; i++ {
-				c.forwardSample(x, out, i, inStride, outStride, colRows, outArea, c.colBufs[shard])
-			}
-		})
-	} else {
-		if len(c.colBuf) < colRows*outArea {
-			c.colBuf = make([]float32, colRows*outArea)
-		}
-		for i := 0; i < n; i++ {
-			// A method rather than a closure: a closure shared with the
-			// parallel branch would escape (one heap alloc) per Forward.
-			c.forwardSample(x, out, i, inStride, outStride, colRows, outArea, c.colBuf)
-		}
-	}
+	tensor.ConvGemmForward(out.Data(), c.Weight.W.Data(), x.Data(),
+		n, c.InC, h, w, c.OutC, c.KH, c.KW, c.Stride, c.Pad)
 	if c.Bias != nil {
 		bd := c.Bias.W.Data()
 		od := out.Data()
+		outStride := c.OutC * outArea
 		for i := 0; i < n; i++ {
 			for oc := 0; oc < c.OutC; oc++ {
 				base := i*outStride + oc*outArea
@@ -117,19 +83,13 @@ func (c *Conv2D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 	return out
 }
 
-// forwardSample lowers sample i via im2col and multiplies it with the
-// weight matrix straight into the batch output.
-func (c *Conv2D) forwardSample(x, out *tensor.Tensor, i, inStride, outStride, colRows, outArea int, buf []float32) {
-	src := x.Data()[i*inStride : (i+1)*inStride]
-	tensor.Im2Col(src, c.InC, c.inH, c.inW, c.KH, c.KW, c.Stride, c.Pad, buf)
-	// Raw-slice GEMM: the operands are sub-slices of the batch
-	// buffers, so no per-sample tensor headers are allocated.
-	tensor.Gemm(out.Data()[i*outStride:(i+1)*outStride],
-		c.Weight.W.Data(), buf[:colRows*outArea], c.OutC, colRows, outArea)
-}
-
-// Backward accumulates dW (and db) and returns dX. The im2col of each
-// sample is recomputed rather than cached, trading FLOPs for memory.
+// Backward accumulates dW (and db) and returns dX. Column rows are
+// regenerated on the fly inside ConvGemmBackward rather than cached,
+// trading FLOPs for memory. The batched call produces one dW chunk per
+// sample; adding them to the gradient in ascending sample order below
+// preserves the per-sample accumulation order of the serial
+// GemmTB+AddInPlace loop it replaced, keeping the §6/§7 bit-identity
+// contract.
 func (c *Conv2D) Backward(dOut *tensor.Tensor) *tensor.Tensor {
 	if c.lastIn == nil {
 		panic("nn: Conv2D.Backward without training Forward")
@@ -138,38 +98,27 @@ func (c *Conv2D) Backward(dOut *tensor.Tensor) *tensor.Tensor {
 	n := x.Dim(0)
 	outArea := c.outH * c.outW
 	colRows := c.InC * c.KH * c.KW
-	inStride := c.InC * c.inH * c.inW
-	outStride := c.OutC * outArea
 
-	if c.dWTmp == nil || !c.dWTmp.SameShape(c.Weight.W) {
-		c.dWTmp = tensor.New(c.Weight.W.Shape()...)
-	}
-	if c.dColBuf == nil || c.dColBuf.Len() != colRows*outArea {
-		c.dColBuf = tensor.New(colRows, outArea)
-	}
-	if len(c.colBuf) < colRows*outArea { // parallel Forward leaves this unsized
-		c.colBuf = make([]float32, colRows*outArea)
-	}
-	// Col2Im accumulates into its destination, so dX must start zeroed.
+	// The fused col2im consumer accumulates into dX, so it must start
+	// zeroed; the chunk buffer is fully written by the batched call.
 	dX := c.ws.GetZeroed(1, x.Shape()...)
+	chunks := c.ws.Get(2, n, c.OutC, colRows)
+	tensor.ConvGemmBackward(dX.Data(), chunks.Data(), c.Weight.W.Data(),
+		x.Data(), dOut.Data(), n, c.InC, c.inH, c.inW, c.OutC, c.KH, c.KW,
+		c.Stride, c.Pad)
+	gd := c.Weight.Grad.Data()
+	cd := chunks.Data()
+	wlen := c.OutC * colRows
 	for i := 0; i < n; i++ {
-		src := x.Data()[i*inStride : (i+1)*inStride]
-		tensor.Im2Col(src, c.InC, c.inH, c.inW, c.KH, c.KW, c.Stride, c.Pad, c.colBuf)
-		col := c.colBuf[:colRows*outArea]
-		dY := dOut.Data()[i*outStride : (i+1)*outStride]
-
-		// dW += dY · colᵀ
-		tensor.GemmTB(c.dWTmp.Data(), dY, col, c.OutC, outArea, colRows)
-		c.Weight.Grad.AddInPlace(c.dWTmp)
-
-		// dcol = Wᵀ · dY ; dX_i = col2im(dcol)
-		tensor.GemmTA(c.dColBuf.Data(), c.Weight.W.Data(), dY, c.OutC, colRows, outArea)
-		tensor.Col2Im(c.dColBuf.Data(), c.InC, c.inH, c.inW, c.KH, c.KW,
-			c.Stride, c.Pad, dX.Data()[i*inStride:(i+1)*inStride])
+		chunk := cd[i*wlen : (i+1)*wlen]
+		for j, v := range chunk {
+			gd[j] += v
+		}
 	}
 	if c.Bias != nil {
-		gd := c.Bias.Grad.Data()
+		bg := c.Bias.Grad.Data()
 		dd := dOut.Data()
+		outStride := c.OutC * outArea
 		for i := 0; i < n; i++ {
 			for oc := 0; oc < c.OutC; oc++ {
 				base := i*outStride + oc*outArea
@@ -177,7 +126,7 @@ func (c *Conv2D) Backward(dOut *tensor.Tensor) *tensor.Tensor {
 				for j := 0; j < outArea; j++ {
 					s += dd[base+j]
 				}
-				gd[oc] += s
+				bg[oc] += s
 			}
 		}
 	}

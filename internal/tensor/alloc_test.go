@@ -50,6 +50,43 @@ func TestGemmTBWarmAllocs(t *testing.T) {
 	})
 }
 
+func TestConvGemmForwardWarmAllocs(t *testing.T) {
+	withWorkers(1, func() {
+		// The 32×32 paper shape: cols = 16·1024 spans many panels, so
+		// this pins both the packing panel and the sample-spanning
+		// scratch panel to the pool.
+		s := benchConv32
+		wd, src, _ := convOracleData(9, s)
+		dst := make([]float32, s.n*s.outC*s.h*s.w)
+		for i := 0; i < 3; i++ { // warm the panel pool
+			ConvGemmForward(dst, wd, src, s.n, s.c, s.h, s.w, s.outC, s.kh, s.kw, s.stride, s.pad)
+		}
+		if avg := testing.AllocsPerRun(20, func() {
+			ConvGemmForward(dst, wd, src, s.n, s.c, s.h, s.w, s.outC, s.kh, s.kw, s.stride, s.pad)
+		}); avg > 0 {
+			t.Fatalf("warm ConvGemmForward allocates %.1f/op, want 0", avg)
+		}
+	})
+}
+
+func TestConvGemmBackwardWarmAllocs(t *testing.T) {
+	withWorkers(1, func() {
+		s := convShape{4, 4, 12, 12, 4, 3, 3, 1, 1}
+		wd, src, dY := convOracleData(10, s)
+		k := s.c * s.kh * s.kw
+		dX := make([]float32, s.n*s.c*s.h*s.w)
+		chunks := make([]float32, s.n*s.outC*k)
+		for i := 0; i < 3; i++ {
+			ConvGemmBackward(dX, chunks, wd, src, dY, s.n, s.c, s.h, s.w, s.outC, s.kh, s.kw, s.stride, s.pad)
+		}
+		if avg := testing.AllocsPerRun(20, func() {
+			ConvGemmBackward(dX, chunks, wd, src, dY, s.n, s.c, s.h, s.w, s.outC, s.kh, s.kw, s.stride, s.pad)
+		}); avg > 0 {
+			t.Fatalf("warm ConvGemmBackward allocates %.1f/op, want 0", avg)
+		}
+	})
+}
+
 func TestMatVecIntoWarmAllocs(t *testing.T) {
 	a := New(20, 30)
 	FillNormal(a, NewRNG(6), 0, 1)

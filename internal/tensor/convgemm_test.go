@@ -1,0 +1,415 @@
+package tensor
+
+import (
+	"fmt"
+	"testing"
+)
+
+// The fused implicit-GEMM convolution must be bitwise-equal to the
+// materialized Im2Col+Gemm composition it replaced — the same contract
+// matmul_oracle_test.go enforces one layer down. The composition of
+// exported kernels (Im2Col, Gemm, GemmTB, GemmTA, Col2Im), run at one
+// worker, is the oracle here.
+
+// convShape is one point of the conv oracle grid.
+type convShape struct {
+	n, c, h, w, outC, kh, kw, stride, pad int
+}
+
+// convShapes stresses every structural regime of the fused kernels:
+// the 1×1/stride-1/pad-0 zero-copy fast path, 1×1 with stride (general
+// path), pad ≥ kernel (taps that never touch the image), strides 2–3,
+// non-square 5×5 and 2×2 kernels, k%4 tails, panels spanning sample
+// boundaries (outArea ≪ gemmJTile), in-sample ragged panels
+// (outArea > gemmJTile), and the 32×32 paper shape.
+var convShapes = []convShape{
+	{1, 1, 3, 3, 1, 1, 1, 1, 0},     // minimal 1×1 fast path
+	{2, 3, 8, 8, 4, 1, 1, 1, 0},     // 1×1 fast path, k%4 tail (c=3)
+	{3, 4, 9, 9, 5, 1, 1, 2, 0},     // 1×1 with stride: general path
+	{2, 2, 6, 6, 3, 3, 3, 1, 1},     // classic 3×3 same-pad
+	{2, 3, 7, 5, 4, 3, 3, 1, 3},     // pad == kernel
+	{1, 2, 5, 5, 2, 3, 3, 1, 4},     // pad > kernel
+	{2, 2, 11, 11, 3, 5, 5, 2, 2},   // 5×5 stride 2
+	{2, 3, 10, 10, 4, 2, 2, 2, 0},   // 2×2 stride 2, no pad
+	{1, 1, 13, 13, 2, 3, 3, 3, 1},   // stride 3
+	{30, 2, 7, 7, 3, 3, 3, 1, 0},    // outArea=25: panels span samples
+	{2, 2, 20, 20, 3, 3, 3, 1, 1},   // outArea=400: ragged in-sample panels
+	{4, 16, 32, 32, 16, 3, 3, 1, 1}, // paper shape (batch trimmed)
+}
+
+// convOracleData builds deterministic (weight, src, dY) buffers for a
+// shape. The weight matrix — the GEMM's A operand, whose quads drive
+// the skip-zero fast paths — gets the same zero sprinkling, all-zero
+// row, and negative zero as oraclePair so skips and accumulation-order
+// changes stay observable.
+func convOracleData(seed uint64, s convShape) (wd, src, dY []float32) {
+	outH := ConvOutSize(s.h, s.kh, s.stride, s.pad)
+	outW := ConvOutSize(s.w, s.kw, s.stride, s.pad)
+	k := s.c * s.kh * s.kw
+	rng := NewRNG(seed)
+	wt := New(s.outC, k)
+	FillNormal(wt, rng, 0, 1)
+	wd = wt.Data()
+	for i := 0; i < len(wd); i += 3 {
+		wd[i] = 0
+	}
+	if s.outC > 2 {
+		row := wd[2*k : 3*k]
+		for i := range row {
+			row[i] = 0
+		}
+	}
+	if len(wd) > 1 {
+		wd[1] = float32(math32Copysign(0, -1))
+	}
+	st := New(s.n, s.c, s.h, s.w)
+	FillNormal(st, rng, 0, 1)
+	src = st.Data()
+	dt := New(s.n, s.outC, outH, outW)
+	FillNormal(dt, rng, 0, 1)
+	return wd, src, dt.Data()
+}
+
+// refConvForward is the materialized oracle: per-sample Im2Col into a
+// scratch column matrix followed by Gemm — exactly the composition
+// nn.Conv2D.Forward performed before the implicit-GEMM path existed.
+func refConvForward(wd, src []float32, s convShape) []float32 {
+	outH := ConvOutSize(s.h, s.kh, s.stride, s.pad)
+	outW := ConvOutSize(s.w, s.kw, s.stride, s.pad)
+	outArea := outH * outW
+	k := s.c * s.kh * s.kw
+	col := make([]float32, k*outArea)
+	dst := make([]float32, s.n*s.outC*outArea)
+	for i := 0; i < s.n; i++ {
+		Im2Col(src[i*s.c*s.h*s.w:(i+1)*s.c*s.h*s.w],
+			s.c, s.h, s.w, s.kh, s.kw, s.stride, s.pad, col)
+		Gemm(dst[i*s.outC*outArea:(i+1)*s.outC*outArea], wd, col, s.outC, k, outArea)
+	}
+	return dst
+}
+
+// refConvBackward is the materialized backward oracle: per sample,
+// GemmTB for the dW chunk and GemmTA+Col2Im for dX, chunks added to
+// the gradient in ascending sample order — the pre-fusion
+// nn.Conv2D.Backward loop.
+func refConvBackward(wd, src, dY []float32, s convShape) (dW, dX []float32) {
+	outH := ConvOutSize(s.h, s.kh, s.stride, s.pad)
+	outW := ConvOutSize(s.w, s.kw, s.stride, s.pad)
+	outArea := outH * outW
+	k := s.c * s.kh * s.kw
+	chw := s.c * s.h * s.w
+	col := make([]float32, k*outArea)
+	dcol := make([]float32, k*outArea)
+	chunk := make([]float32, s.outC*k)
+	dW = make([]float32, s.outC*k)
+	dX = make([]float32, s.n*chw)
+	for i := 0; i < s.n; i++ {
+		Im2Col(src[i*chw:(i+1)*chw], s.c, s.h, s.w, s.kh, s.kw, s.stride, s.pad, col)
+		dyi := dY[i*s.outC*outArea : (i+1)*s.outC*outArea]
+		GemmTB(chunk, dyi, col, s.outC, outArea, k)
+		for j, v := range chunk {
+			dW[j] += v
+		}
+		GemmTA(dcol, wd, dyi, s.outC, k, outArea)
+		Col2Im(dcol, s.c, s.h, s.w, s.kh, s.kw, s.stride, s.pad, dX[i*chw:(i+1)*chw])
+	}
+	return dW, dX
+}
+
+func (s convShape) String() string {
+	return fmt.Sprintf("n%d_c%d_%dx%d_oc%d_k%dx%d_s%d_p%d",
+		s.n, s.c, s.h, s.w, s.outC, s.kh, s.kw, s.stride, s.pad)
+}
+
+func TestConvGemmForwardMatchesOracleBitwise(t *testing.T) {
+	for _, s := range convShapes {
+		t.Run(s.String(), func(t *testing.T) {
+			wd, src, _ := convOracleData(0xC0117, s)
+			var want []float32
+			withWorkers(1, func() { want = refConvForward(wd, src, s) })
+			outArea := ConvOutSize(s.h, s.kh, s.stride, s.pad) * ConvOutSize(s.w, s.kw, s.stride, s.pad)
+			for _, w := range []int{1, 2, 4} {
+				withWorkers(w, func() {
+					got := make([]float32, len(want))
+					for i := range got {
+						got[i] = 999
+					}
+					ConvGemmForward(got, wd, src, s.n, s.c, s.h, s.w, s.outC, s.kh, s.kw, s.stride, s.pad)
+					if !FromSlice(got, s.n*s.outC, outArea).Equal(FromSlice(want, s.n*s.outC, outArea)) {
+						t.Fatalf("workers=%d: fused forward differs from Im2Col+Gemm oracle", w)
+					}
+				})
+			}
+		})
+	}
+}
+
+func TestConvGemmBackwardMatchesOracleBitwise(t *testing.T) {
+	for _, s := range convShapes {
+		t.Run(s.String(), func(t *testing.T) {
+			wd, src, dY := convOracleData(0xBAC1, s)
+			var wantDW, wantDX []float32
+			withWorkers(1, func() { wantDW, wantDX = refConvBackward(wd, src, dY, s) })
+			k := s.c * s.kh * s.kw
+			wlen := s.outC * k
+			for _, w := range []int{1, 2, 4} {
+				withWorkers(w, func() {
+					dX := make([]float32, len(wantDX))
+					chunks := make([]float32, s.n*wlen)
+					ConvGemmBackward(dX, chunks, wd, src, dY, s.n, s.c, s.h, s.w, s.outC, s.kh, s.kw, s.stride, s.pad)
+					dW := make([]float32, wlen)
+					for i := 0; i < s.n; i++ {
+						for j, v := range chunks[i*wlen : (i+1)*wlen] {
+							dW[j] += v
+						}
+					}
+					if !FromSlice(dW, s.outC, k).Equal(FromSlice(wantDW, s.outC, k)) {
+						t.Fatalf("workers=%d: fused dW differs from GemmTB oracle", w)
+					}
+					if !FromSlice(dX, s.n, s.c*s.h*s.w).Equal(FromSlice(wantDX, s.n, s.c*s.h*s.w)) {
+						t.Fatalf("workers=%d: fused dX differs from GemmTA+Col2Im oracle", w)
+					}
+				})
+			}
+		})
+	}
+}
+
+// TestIm2ColPanelsMatchesPackedIm2Col pins the exported packed layout:
+// Im2ColPanels over a batch must produce exactly packB applied to the
+// row-major batch column matrix assembled from per-sample Im2Col calls.
+func TestIm2ColPanelsMatchesPackedIm2Col(t *testing.T) {
+	for _, s := range convShapes {
+		t.Run(s.String(), func(t *testing.T) {
+			_, src, _ := convOracleData(0x9A7, s)
+			outH := ConvOutSize(s.h, s.kh, s.stride, s.pad)
+			outW := ConvOutSize(s.w, s.kw, s.stride, s.pad)
+			outArea := outH * outW
+			k := s.c * s.kh * s.kw
+			cols := s.n * outArea
+			// Assemble the conceptual k × (n·outArea) batch column
+			// matrix sample by sample, then pack it the way Gemm would.
+			batch := make([]float32, k*cols)
+			col := make([]float32, k*outArea)
+			for i := 0; i < s.n; i++ {
+				Im2Col(src[i*s.c*s.h*s.w:(i+1)*s.c*s.h*s.w],
+					s.c, s.h, s.w, s.kh, s.kw, s.stride, s.pad, col)
+				for p := 0; p < k; p++ {
+					copy(batch[p*cols+i*outArea:p*cols+(i+1)*outArea], col[p*outArea:(p+1)*outArea])
+				}
+			}
+			want, buf := packB(batch, k, cols)
+			got := make([]float32, k*cols)
+			Im2ColPanels(src, s.n, s.c, s.h, s.w, s.kh, s.kw, s.stride, s.pad, got)
+			for i := range got {
+				if got[i] != want[i] {
+					t.Fatalf("packed layout differs at %d: %v vs %v", i, got[i], want[i])
+				}
+			}
+			if buf != nil {
+				panelPool.Put(buf)
+			}
+		})
+	}
+}
+
+// TestConv1x1FastPathMatchesGeneralPath runs the general panel-packing
+// path on a 1×1/stride-1/pad-0 shape (which ConvGemmForward would
+// normally route to the zero-copy path) and requires bitwise equality.
+func TestConv1x1FastPathMatchesGeneralPath(t *testing.T) {
+	s := convShape{3, 5, 9, 9, 4, 1, 1, 1, 0}
+	wd, src, dY := convOracleData(0x1F1, s)
+	area := s.h * s.w
+	perSample := (area + gemmJTile - 1) / gemmJTile
+	for _, w := range []int{1, 3} {
+		withWorkers(w, func() {
+			fast := make([]float32, s.n*s.outC*area)
+			ConvGemmForward(fast, wd, src, s.n, s.c, s.h, s.w, s.outC, 1, 1, 1, 0)
+			general := make([]float32, len(fast))
+			convForwardUnits(general, wd, src, s.c, s.h, s.w, 1, 1, 1, 0, s.h, s.w, s.outC, perSample, 0, s.n*perSample)
+			for i := range fast {
+				if fast[i] != general[i] {
+					t.Fatalf("workers=%d: 1x1 fast path differs from general path at %d", w, i)
+				}
+			}
+		})
+	}
+	// Backward: the fast flag is chosen inside convBackwardSamples, so
+	// pin it against the materialized oracle instead (the general fused
+	// path is pinned to the same oracle by the grid test above).
+	wantDW, wantDX := refConvBackward(wd, src, dY, s)
+	dX := make([]float32, len(wantDX))
+	chunks := make([]float32, s.n*s.outC*s.c)
+	ConvGemmBackward(dX, chunks, wd, src, dY, s.n, s.c, s.h, s.w, s.outC, 1, 1, 1, 0)
+	dW := make([]float32, s.outC*s.c)
+	for i := 0; i < s.n; i++ {
+		for j, v := range chunks[i*len(dW) : (i+1)*len(dW)] {
+			dW[j] += v
+		}
+	}
+	if !FromSlice(dW, s.outC, s.c).Equal(FromSlice(wantDW, s.outC, s.c)) {
+		t.Fatalf("1x1 fast backward dW differs from oracle")
+	}
+	if !FromSlice(dX, s.n, s.c*area).Equal(FromSlice(wantDX, s.n, s.c*area)) {
+		t.Fatalf("1x1 fast backward dX differs from oracle")
+	}
+}
+
+// FuzzConvGemmOracle drives the fused forward and backward against the
+// materialized composition on fuzz-chosen shapes, including pad ≥
+// kernel and degenerate strides.
+func FuzzConvGemmOracle(f *testing.F) {
+	f.Add(uint64(1), uint8(2), uint8(3), uint8(8), uint8(4), uint8(3), uint8(1), uint8(1))
+	f.Add(uint64(2), uint8(4), uint8(1), uint8(5), uint8(2), uint8(1), uint8(1), uint8(0))
+	f.Add(uint64(3), uint8(30), uint8(2), uint8(7), uint8(3), uint8(3), uint8(1), uint8(4))
+	f.Add(uint64(4), uint8(2), uint8(2), uint8(19), uint8(3), uint8(5), uint8(3), uint8(2))
+	f.Fuzz(func(t *testing.T, seed uint64, nRaw, cRaw, hwRaw, ocRaw, kRaw, strideRaw, padRaw uint8) {
+		s := convShape{
+			n:      int(nRaw)%32 + 1,
+			c:      int(cRaw)%5 + 1,
+			h:      int(hwRaw)%20 + 1,
+			outC:   int(ocRaw)%6 + 1,
+			kh:     int(kRaw)%5 + 1,
+			stride: int(strideRaw)%3 + 1,
+			pad:    int(padRaw) % 6,
+		}
+		s.w = s.h
+		s.kw = s.kh
+		if s.h+2*s.pad < s.kh {
+			t.Skip("empty output")
+		}
+		wd, src, dY := convOracleData(seed, s)
+		want := refConvForward(wd, src, s)
+		got := make([]float32, len(want))
+		ConvGemmForward(got, wd, src, s.n, s.c, s.h, s.w, s.outC, s.kh, s.kw, s.stride, s.pad)
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("forward mismatch at %d for %v seed %d", i, s, seed)
+			}
+		}
+		wantDW, wantDX := refConvBackward(wd, src, dY, s)
+		k := s.c * s.kh * s.kw
+		wlen := s.outC * k
+		dX := make([]float32, len(wantDX))
+		chunks := make([]float32, s.n*wlen)
+		ConvGemmBackward(dX, chunks, wd, src, dY, s.n, s.c, s.h, s.w, s.outC, s.kh, s.kw, s.stride, s.pad)
+		dW := make([]float32, wlen)
+		for i := 0; i < s.n; i++ {
+			for j, v := range chunks[i*wlen : (i+1)*wlen] {
+				dW[j] += v
+			}
+		}
+		for i := range dW {
+			if dW[i] != wantDW[i] {
+				t.Fatalf("dW mismatch at %d for %v seed %d", i, s, seed)
+			}
+		}
+		for i := range dX {
+			if dX[i] != wantDX[i] {
+				t.Fatalf("dX mismatch at %d for %v seed %d", i, s, seed)
+			}
+		}
+	})
+}
+
+// benchConvShape/benchConvShape12: the paper's 32×32 input shape and
+// the repro-scale 12×12 shape used by the training loop benches.
+var (
+	benchConv32  = convShape{16, 16, 32, 32, 16, 3, 3, 1, 1}
+	benchConv12  = convShape{32, 4, 12, 12, 4, 3, 3, 1, 1}
+	benchConv1x1 = convShape{16, 32, 16, 16, 32, 1, 1, 1, 0}
+)
+
+func benchConvFwd(b *testing.B, s convShape, fused bool) {
+	wd, src, _ := convOracleData(1, s)
+	outArea := ConvOutSize(s.h, s.kh, s.stride, s.pad) * ConvOutSize(s.w, s.kw, s.stride, s.pad)
+	dst := make([]float32, s.n*s.outC*outArea)
+	withWorkers(1, func() {
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if fused {
+				ConvGemmForward(dst, wd, src, s.n, s.c, s.h, s.w, s.outC, s.kh, s.kw, s.stride, s.pad)
+			} else {
+				refConvForward2(dst, wd, src, s)
+			}
+		}
+	})
+}
+
+// refConvForward2 is refConvForward with a caller-owned destination and
+// persistent scratch, so the Ref benchmarks measure the materialized
+// composition's compute, not allocation.
+var refColScratch []float32
+
+func refConvForward2(dst, wd, src []float32, s convShape) {
+	outH := ConvOutSize(s.h, s.kh, s.stride, s.pad)
+	outW := ConvOutSize(s.w, s.kw, s.stride, s.pad)
+	outArea := outH * outW
+	k := s.c * s.kh * s.kw
+	if len(refColScratch) < k*outArea {
+		refColScratch = make([]float32, k*outArea)
+	}
+	col := refColScratch[:k*outArea]
+	for i := 0; i < s.n; i++ {
+		Im2Col(src[i*s.c*s.h*s.w:(i+1)*s.c*s.h*s.w],
+			s.c, s.h, s.w, s.kh, s.kw, s.stride, s.pad, col)
+		Gemm(dst[i*s.outC*outArea:(i+1)*s.outC*outArea], wd, col, s.outC, k, outArea)
+	}
+}
+
+func benchConvBwd(b *testing.B, s convShape, fused bool) {
+	wd, src, dY := convOracleData(1, s)
+	k := s.c * s.kh * s.kw
+	chw := s.c * s.h * s.w
+	dX := make([]float32, s.n*chw)
+	chunks := make([]float32, s.n*s.outC*k)
+	dW := make([]float32, s.outC*k)
+	outArea := ConvOutSize(s.h, s.kh, s.stride, s.pad) * ConvOutSize(s.w, s.kw, s.stride, s.pad)
+	col := make([]float32, k*outArea)
+	dcol := make([]float32, k*outArea)
+	withWorkers(1, func() {
+		b.ResetTimer()
+		for it := 0; it < b.N; it++ {
+			for x := range dX {
+				dX[x] = 0
+			}
+			if fused {
+				ConvGemmBackward(dX, chunks, wd, src, dY, s.n, s.c, s.h, s.w, s.outC, s.kh, s.kw, s.stride, s.pad)
+				wlen := s.outC * k
+				for i := 0; i < s.n; i++ {
+					for j, v := range chunks[i*wlen : (i+1)*wlen] {
+						dW[j] += v
+					}
+				}
+			} else {
+				for i := 0; i < s.n; i++ {
+					Im2Col(src[i*chw:(i+1)*chw], s.c, s.h, s.w, s.kh, s.kw, s.stride, s.pad, col)
+					dyi := dY[i*s.outC*outArea : (i+1)*s.outC*outArea]
+					GemmTB(chunks[:s.outC*k], dyi, col, s.outC, outArea, k)
+					for j, v := range chunks[:s.outC*k] {
+						dW[j] += v
+					}
+					GemmTA(dcol, wd, dyi, s.outC, k, outArea)
+					Col2Im(dcol, s.c, s.h, s.w, s.kh, s.kw, s.stride, s.pad, dX[i*chw:(i+1)*chw])
+				}
+			}
+		}
+	})
+}
+
+func BenchmarkConvFwdFused32(b *testing.B) { benchConvFwd(b, benchConv32, true) }
+func BenchmarkConvFwdRef32(b *testing.B)   { benchConvFwd(b, benchConv32, false) }
+func BenchmarkConvBwdFused32(b *testing.B) { benchConvBwd(b, benchConv32, true) }
+func BenchmarkConvBwdRef32(b *testing.B)   { benchConvBwd(b, benchConv32, false) }
+func BenchmarkConvFwdFused12(b *testing.B) { benchConvFwd(b, benchConv12, true) }
+func BenchmarkConvFwdRef12(b *testing.B)   { benchConvFwd(b, benchConv12, false) }
+func BenchmarkConvBwdFused12(b *testing.B) { benchConvBwd(b, benchConv12, true) }
+func BenchmarkConvBwdRef12(b *testing.B)   { benchConvBwd(b, benchConv12, false) }
+
+// The pointwise pair exercises the zero-copy 1×1 fast path, where the
+// fused forward reads src as the column matrix and packs nothing, and
+// the fused backward skips the im2col/col2im index arithmetic.
+func BenchmarkConvFwdFused1x1(b *testing.B) { benchConvFwd(b, benchConv1x1, true) }
+func BenchmarkConvFwdRef1x1(b *testing.B)   { benchConvFwd(b, benchConv1x1, false) }
+func BenchmarkConvBwdFused1x1(b *testing.B) { benchConvBwd(b, benchConv1x1, true) }
+func BenchmarkConvBwdRef1x1(b *testing.B)   { benchConvBwd(b, benchConv1x1, false) }

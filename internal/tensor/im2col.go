@@ -27,31 +27,40 @@ func Im2Col(src []float32, c, h, w, kh, kw, stride, pad int, dst []float32) {
 		chBase := ch * h * w
 		for ky := 0; ky < kh; ky++ {
 			for kx := 0; kx < kw; kx++ {
-				d := dst[row*outArea : (row+1)*outArea]
+				im2colRow(dst[row*outArea:(row+1)*outArea], src,
+					chBase, ky, kx, h, w, outH, outW, stride, pad)
 				row++
-				di := 0
-				for oy := 0; oy < outH; oy++ {
-					iy := oy*stride - pad + ky
-					if iy < 0 || iy >= h {
-						for ox := 0; ox < outW; ox++ {
-							d[di] = 0
-							di++
-						}
-						continue
-					}
-					rowBase := chBase + iy*w
-					ix := -pad + kx
-					for ox := 0; ox < outW; ox++ {
-						if ix >= 0 && ix < w {
-							d[di] = src[rowBase+ix]
-						} else {
-							d[di] = 0
-						}
-						di++
-						ix += stride
-					}
-				}
 			}
+		}
+	}
+}
+
+// im2colRow fills one row of the column matrix: the (ky, kx) tap of the
+// channel whose plane starts at src[chBase], over every output
+// position. It is the shared inner body of Im2Col and of the implicit-
+// GEMM paths in convgemm.go that generate column rows on the fly, so
+// every lowering writes identical values.
+func im2colRow(d, src []float32, chBase, ky, kx, h, w, outH, outW, stride, pad int) {
+	di := 0
+	for oy := 0; oy < outH; oy++ {
+		iy := oy*stride - pad + ky
+		if iy < 0 || iy >= h {
+			for ox := 0; ox < outW; ox++ {
+				d[di] = 0
+				di++
+			}
+			continue
+		}
+		rowBase := chBase + iy*w
+		ix := -pad + kx
+		for ox := 0; ox < outW; ox++ {
+			if ix >= 0 && ix < w {
+				d[di] = src[rowBase+ix]
+			} else {
+				d[di] = 0
+			}
+			di++
+			ix += stride
 		}
 	}
 }
@@ -74,26 +83,35 @@ func Col2Im(col []float32, c, h, w, kh, kw, stride, pad int, dst []float32) {
 		chBase := ch * h * w
 		for ky := 0; ky < kh; ky++ {
 			for kx := 0; kx < kw; kx++ {
-				s := col[row*outArea : (row+1)*outArea]
+				col2imRow(dst, col[row*outArea:(row+1)*outArea],
+					chBase, ky, kx, h, w, outH, outW, stride, pad)
 				row++
-				si := 0
-				for oy := 0; oy < outH; oy++ {
-					iy := oy*stride - pad + ky
-					if iy < 0 || iy >= h {
-						si += outW
-						continue
-					}
-					rowBase := chBase + iy*w
-					ix := -pad + kx
-					for ox := 0; ox < outW; ox++ {
-						if ix >= 0 && ix < w {
-							dst[rowBase+ix] += s[si]
-						}
-						si++
-						ix += stride
-					}
-				}
 			}
+		}
+	}
+}
+
+// col2imRow scatter-adds one column-matrix row — the (ky, kx) tap of
+// the channel whose plane starts at dst[chBase] — back into the image.
+// It is the shared inner body of Col2Im and of the fused col2im
+// consumer in convgemm.go, so both scatter paths perform identical
+// accumulations in identical order.
+func col2imRow(dst, s []float32, chBase, ky, kx, h, w, outH, outW, stride, pad int) {
+	si := 0
+	for oy := 0; oy < outH; oy++ {
+		iy := oy*stride - pad + ky
+		if iy < 0 || iy >= h {
+			si += outW
+			continue
+		}
+		rowBase := chBase + iy*w
+		ix := -pad + kx
+		for ox := 0; ox < outW; ox++ {
+			if ix >= 0 && ix < w {
+				dst[rowBase+ix] += s[si]
+			}
+			si++
+			ix += stride
 		}
 	}
 }

@@ -135,32 +135,33 @@ func gemmRows(od, ad, pb []float32, k, n, lo, hi int) {
 		base := j0 * k
 		i := lo
 		for ; i+2 <= hi; i += 2 {
-			gemmTile2(od, ad, pb, k, n, i, j0, jw, base)
+			gemmTile2(od[i*n+j0:i*n+j0+jw], od[(i+1)*n+j0:(i+1)*n+j0+jw],
+				ad[i*k:i*k+k], ad[(i+1)*k:(i+1)*k+k], pb, jw, jw, base)
 		}
 		for ; i < hi; i++ {
-			gemmTile1(od, ad, pb, k, n, i, j0, jw, base)
+			gemmTile1(od[i*n+j0:i*n+j0+jw], ad[i*k:i*k+k], pb, jw, jw, base)
 		}
 	}
 }
 
-// gemmTile2 computes the jw-wide output segments of rows i and i+1. The
-// two rows share each loaded B quad; every row's own update statement
-// and skip-zero check are those of the reference kernel, so each output
-// element sees the identical operation sequence. Two rows (8 A
-// coefficients + 4 shared B values) is the widest tile whose live values
-// fit amd64's 16 vector registers — a 4-row tile spills and measures
-// slower than the reference.
-func gemmTile2(od, ad, pb []float32, k, n, i, j0, jw, base int) {
-	o0 := od[i*n+j0 : i*n+j0+jw]
-	o1 := od[(i+1)*n+j0 : (i+1)*n+j0+jw]
+// gemmTile2 computes the jw-wide output segments o0, o1 of two rows
+// with coefficient rows a0, a1 (len k each) against a B panel whose
+// row p lives at pb[base+p*bs : +jw] (bs = panel row stride; bs == jw
+// for packed panels, larger when the panel is a zero-copy view into a
+// wider matrix). The two rows share each loaded B quad; every row's
+// own update statement and skip-zero check are those of the reference
+// kernel, so each output element sees the identical operation
+// sequence. Two rows (8 A coefficients + 4 shared B values) is the
+// widest tile whose live values fit amd64's 16 vector registers — a
+// 4-row tile spills and measures slower than the reference.
+func gemmTile2(o0, o1, a0, a1, pb []float32, jw, bs, base int) {
 	for x := range o0 {
 		o0[x] = 0
 	}
 	for x := range o1 {
 		o1[x] = 0
 	}
-	a0 := ad[i*k : i*k+k]
-	a1 := ad[(i+1)*k : (i+1)*k+k]
+	k := len(a0)
 	p := 0
 	for ; p+4 <= k; p += 4 {
 		w00, w01, w02, w03 := a0[p], a0[p+1], a0[p+2], a0[p+3]
@@ -170,10 +171,10 @@ func gemmTile2(od, ad, pb []float32, k, n, i, j0, jw, base int) {
 		if z0 && z1 {
 			continue
 		}
-		b0 := pb[base+p*jw : base+p*jw+jw]
-		b1 := pb[base+(p+1)*jw : base+(p+1)*jw+jw]
-		b2 := pb[base+(p+2)*jw : base+(p+2)*jw+jw]
-		b3 := pb[base+(p+3)*jw : base+(p+3)*jw+jw]
+		b0 := pb[base+p*bs : base+p*bs+jw]
+		b1 := pb[base+(p+1)*bs : base+(p+1)*bs+jw]
+		b2 := pb[base+(p+2)*bs : base+(p+2)*bs+jw]
+		b3 := pb[base+(p+3)*bs : base+(p+3)*bs+jw]
 		if !z0 && !z1 {
 			for x := 0; x < jw; x++ {
 				bv0, bv1, bv2, bv3 := b0[x], b1[x], b2[x], b3[x]
@@ -193,7 +194,7 @@ func gemmTile2(od, ad, pb []float32, k, n, i, j0, jw, base int) {
 		}
 	}
 	for ; p < k; p++ {
-		brow := pb[base+p*jw : base+p*jw+jw]
+		brow := pb[base+p*bs : base+p*bs+jw]
 		if av := a0[p]; av != 0 {
 			for x := range o0 {
 				o0[x] += av * brow[x]
@@ -207,24 +208,24 @@ func gemmTile2(od, ad, pb []float32, k, n, i, j0, jw, base int) {
 	}
 }
 
-// gemmTile1 is the single-row remainder of gemmTile4 — the reference
-// kernel body restricted to one column panel.
-func gemmTile1(od, ad, pb []float32, k, n, i, j0, jw, base int) {
-	orow := od[i*n+j0 : i*n+j0+jw]
+// gemmTile1 is the single-row remainder of gemmTile2 — the reference
+// kernel body restricted to one column panel. See gemmTile2 for the
+// jw/bs/base panel addressing.
+func gemmTile1(orow, arow, pb []float32, jw, bs, base int) {
 	for x := range orow {
 		orow[x] = 0
 	}
-	arow := ad[i*k : i*k+k]
+	k := len(arow)
 	p := 0
 	for ; p+4 <= k; p += 4 {
 		a0, a1, a2, a3 := arow[p], arow[p+1], arow[p+2], arow[p+3]
 		if a0 == 0 && a1 == 0 && a2 == 0 && a3 == 0 {
 			continue
 		}
-		b0 := pb[base+p*jw : base+p*jw+jw]
-		b1 := pb[base+(p+1)*jw : base+(p+1)*jw+jw]
-		b2 := pb[base+(p+2)*jw : base+(p+2)*jw+jw]
-		b3 := pb[base+(p+3)*jw : base+(p+3)*jw+jw]
+		b0 := pb[base+p*bs : base+p*bs+jw]
+		b1 := pb[base+(p+1)*bs : base+(p+1)*bs+jw]
+		b2 := pb[base+(p+2)*bs : base+(p+2)*bs+jw]
+		b3 := pb[base+(p+3)*bs : base+(p+3)*bs+jw]
 		for x := range orow {
 			orow[x] += a0*b0[x] + a1*b1[x] + a2*b2[x] + a3*b3[x]
 		}
@@ -234,7 +235,7 @@ func gemmTile1(od, ad, pb []float32, k, n, i, j0, jw, base int) {
 		if av == 0 {
 			continue
 		}
-		brow := pb[base+p*jw : base+p*jw+jw]
+		brow := pb[base+p*bs : base+p*bs+jw]
 		for x := range orow {
 			orow[x] += av * brow[x]
 		}

@@ -1,13 +1,19 @@
 #!/bin/sh
-# Regenerates the raw numbers behind results/BENCH_gemm.json: the packed
-# GEMM kernels against the pre-blocking reference kernels (the *Ref*
-# benchmarks time the old implementations, which stay in-tree as bitwise
-# oracles), plus the sharded-path benchmarks behind BENCH_parallel.json.
+# Regenerates the raw numbers behind results/BENCH_gemm.json and
+# results/BENCH_conv.json: the packed GEMM kernels and the fused
+# implicit-GEMM convolution against their materialized reference
+# compositions (the *Ref* benchmarks time the old implementations in the
+# same binary; both stay in-tree as bitwise oracles), plus the
+# sharded-path benchmarks behind BENCH_parallel.json.
 # Run from the repository root; paste medians into the JSON by hand.
 set -e
 
 echo "== serial kernel before/after (BENCH_gemm.json) =="
 go test ./internal/tensor/ -run '^$' -bench '256Serial|MatMul64' \
+  -benchtime 25x -count 3 -timeout 30m
+
+echo "== fused conv before/after (BENCH_conv.json) =="
+go test ./internal/tensor/ -run '^$' -bench 'ConvFwd|ConvBwd' \
   -benchtime 25x -count 3 -timeout 30m
 
 echo "== sharded paths (BENCH_parallel.json) =="
