@@ -9,6 +9,9 @@
 //	ftpim ablation [-preset repro] [-which ladder|resample|crossbar] [-cache DIR]
 //	ftpim device draw|eval|retrain [-psa RATE] [-profile FILE] [-dataset c10]
 //	ftpim all    [-preset repro] [-cache DIR] [-out DIR]
+//	ftpim serve  [-addr HOST:PORT] [-max-batch N] [-batch-window D] [-queue N]
+//	             [-executors N] [-loadtest [-lt-clients N] [-lt-requests N]
+//	             [-bench-out FILE]]
 //
 // The default preset ("repro") is the scaled-down reproduction
 // described in DESIGN.md; "paper" runs the full-scale protocol (slow);
@@ -27,6 +30,16 @@
 // boundary: partially trained models are not cached, the model cache is
 // never left with a truncated entry, and the process exits with status
 // 130.
+//
+// serve exposes the trained model as a long-running HTTP service
+// (POST /v1/infer, POST /v1/defect-eval, GET /v1/healthz): concurrent
+// inference requests are coalesced into micro-batches under a
+// -batch-window latency budget, overload answers 429 + Retry-After,
+// and SIGTERM/Ctrl-C drains gracefully — admission stops, queued
+// batches flush, in-flight requests complete, exit 0. With -loadtest
+// the process instead drives an in-process load test against its own
+// handler and reports p50/p99 latency and throughput (optionally
+// recorded to -bench-out as JSON).
 //
 // -checkpoint DIR enables crash-safe checkpointing: every training run
 // snapshots its full state (weights, optimizer velocity, BN statistics,
@@ -52,6 +65,7 @@ import (
 	"strings"
 	"sync/atomic"
 	"syscall"
+	"time"
 
 	"github.com/ftpim/ftpim/internal/ckpt"
 	"github.com/ftpim/ftpim/internal/core"
@@ -98,6 +112,20 @@ func run() int {
 	ckptEvery := fs.Int("ckpt-every", 1, "epochs between checkpoint writes")
 	resume := fs.Bool("resume", false,
 		"resume interrupted training runs from the newest intact checkpoint in -checkpoint")
+	addr := fs.String("addr", "127.0.0.1:8080", "serve: listen address")
+	maxBatch := fs.Int("max-batch", 32, "serve: largest inference micro-batch")
+	batchWindow := fs.Duration("batch-window", 2*time.Millisecond,
+		"serve: micro-batch latency budget, measured from the first queued request")
+	queueDepth := fs.Int("queue", 256, "serve: infer admission queue depth (full queue answers 429)")
+	executors := fs.Int("executors", 2, "serve: concurrent batch executors, one warm model clone each")
+	loadtest := fs.Bool("loadtest", false,
+		"serve: skip listening and drive an in-process load test instead")
+	ltClients := fs.Int("lt-clients", 1000, "serve -loadtest: concurrent clients")
+	ltRequests := fs.Int("lt-requests", 4, "serve -loadtest: infer requests per client")
+	ltEvalEvery := fs.Int("lt-eval-every", 0,
+		"serve -loadtest: mix in one defect-eval per client every N infer requests (0 = none)")
+	benchOut := fs.String("bench-out", "",
+		"serve -loadtest: write the load-test record (JSON) to FILE")
 
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -117,6 +145,21 @@ func run() int {
 		if err := probeWritableDir(*checkpoint); err != nil {
 			return usageErr("-checkpoint %s is not writable: %v", *checkpoint, err)
 		}
+	}
+	if *maxBatch < 1 {
+		return usageErr("-max-batch must be >= 1, got %d", *maxBatch)
+	}
+	if *batchWindow < 0 {
+		return usageErr("-batch-window must be >= 0, got %v", *batchWindow)
+	}
+	if *queueDepth < 1 {
+		return usageErr("-queue must be >= 1, got %d", *queueDepth)
+	}
+	if *executors < 1 {
+		return usageErr("-executors must be >= 1, got %d", *executors)
+	}
+	if *loadtest && (*ltClients < 1 || *ltRequests < 1) {
+		return usageErr("-lt-clients and -lt-requests must be >= 1")
 	}
 
 	var sinks []obs.Sink
@@ -194,6 +237,13 @@ func run() int {
 		err = runDevice(ctx, env, verb, *dataset, *psa, *profile)
 	case "all":
 		err = runAll(ctx, env, *outDir)
+	case "serve":
+		err = runServe(ctx, env, *dataset, serveOpts{
+			addr: *addr, maxBatch: *maxBatch, batchWindow: *batchWindow,
+			queue: *queueDepth, executors: *executors,
+			loadtest: *loadtest, ltClients: *ltClients, ltRequests: *ltRequests,
+			ltEvalEvery: *ltEvalEvery, benchOut: *benchOut,
+		})
 	case "help", "-h", "--help":
 		usage()
 		return 0
@@ -493,6 +543,10 @@ commands:
   ablation  run an ablation study (-which ladder|resample|crossbar)
   device    per-device workflow: draw | eval | retrain (-psa, -profile)
   all       regenerate everything into -out DIR
+  serve     HTTP inference + defect-eval service with dynamic
+            micro-batching (-addr, -max-batch, -batch-window, -queue,
+            -executors; -loadtest for an in-process load test with
+            -lt-clients/-lt-requests/-bench-out)
 
 common flags: -preset smoke|quick|repro|paper   -cache DIR   -dataset c10|c100|both
               -workers N   -events FILE (JSONL run events)   -v=false (quiet)

@@ -86,31 +86,52 @@ func EvalClean(net *nn.Network, ds *data.Dataset, batch int) float64 {
 	return metrics.Evaluate(net, ds, batch)
 }
 
-// cloneEntry is one reusable Monte-Carlo worker state: a deep clone of
-// the source network plus the injector bound to its weight tensors.
-type cloneEntry struct {
-	net *nn.Network
+// CloneEntry is one reusable worker state: a deep clone of the source
+// network plus a fault injector bound to the clone's weight tensors.
+// Net may be mutated freely (forward passes, lesions) as long as every
+// lesion is undone before the entry goes back to its pool.
+type CloneEntry struct {
+	Net *nn.Network
 	inj *fault.Injector
 }
 
-// clonePool hands worker clones out across the EvalDefect calls of one
-// sweep. A clone is safe to reuse between rates because every lesion is
-// undone bitwise before the entry is returned and the source network is
-// not mutated in between — so a pooled clone is indistinguishable from
-// a fresh one, and results stay bit-identical to per-call cloning. Only
-// the scheduling changes: a sweep creates at most Workers clones total
-// instead of Workers per rate.
-type clonePool struct {
+// Injector returns the entry's injector, bound to Net's weights.
+func (e *CloneEntry) Injector() *fault.Injector { return e.inj }
+
+// ClonePool hands out reusable deep clones of a source network. A
+// clone is safe to reuse between checkouts because every lesion is
+// undone bitwise before the entry is returned and the source network
+// is never mutated — so a pooled clone is indistinguishable from a
+// fresh one, and results stay bit-identical to per-call cloning. Only
+// the scheduling changes: a multi-rate sweep creates at most Workers
+// clones total instead of Workers per rate, and a serving process
+// creates one clone per concurrent executor for its whole lifetime.
+//
+// The pool is safe for concurrent use. Entries must not be shared:
+// layers keep scratch buffers and fault injection mutates weights in
+// place, so each checked-out entry belongs to exactly one goroutine
+// until Put.
+type ClonePool struct {
 	mu      sync.Mutex
 	src     *nn.Network
 	model   fault.Model
-	entries []*cloneEntry
+	entries []*CloneEntry
+}
+
+// NewClonePool creates a pool of clones of src. The zero-value model
+// resolves to fault.ChenModel(); an explicitly set degenerate model
+// panics, matching DefectEval.Normalize.
+func NewClonePool(src *nn.Network, model fault.Model) *ClonePool {
+	model = DefectEval{Model: model}.model()
+	return &ClonePool{src: src, model: model}
 }
 
 // evalCloneCreates counts clone constructions for the pool-reuse test.
 var evalCloneCreates atomic.Int64
 
-func (p *clonePool) get() *cloneEntry {
+// Get checks an entry out of the pool, cloning the source network if
+// no idle entry is available.
+func (p *ClonePool) Get() *CloneEntry {
 	p.mu.Lock()
 	if n := len(p.entries); n > 0 {
 		e := p.entries[n-1]
@@ -121,10 +142,13 @@ func (p *clonePool) get() *cloneEntry {
 	p.mu.Unlock()
 	evalCloneCreates.Add(1)
 	clone := p.src.Clone()
-	return &cloneEntry{net: clone, inj: fault.NewInjector(p.model, WeightTensors(clone))}
+	return &CloneEntry{Net: clone, inj: fault.NewInjector(p.model, WeightTensors(clone))}
 }
 
-func (p *clonePool) put(e *cloneEntry) {
+// Put returns an entry for reuse. The caller must have undone every
+// lesion it applied; the entry's weights must be bit-identical to the
+// source network's.
+func (p *ClonePool) Put(e *CloneEntry) {
 	p.mu.Lock()
 	p.entries = append(p.entries, e)
 	p.mu.Unlock()
@@ -148,7 +172,7 @@ func EvalDefect(ctx context.Context, net *nn.Network, ds *data.Dataset, psa floa
 // means per-call clones (the standalone entry point); EvalDefectSweep
 // passes one pool so clones survive across its rates. cfg must already
 // be normalized.
-func evalDefect(ctx context.Context, net *nn.Network, ds *data.Dataset, psa float64, cfg DefectEval, pool *clonePool) (metrics.Summary, error) {
+func evalDefect(ctx context.Context, net *nn.Network, ds *data.Dataset, psa float64, cfg DefectEval, pool *ClonePool) (metrics.Summary, error) {
 	sink := cfg.Sink
 	start := time.Now()
 	if psa == 0 {
@@ -200,7 +224,7 @@ func evalDefect(ctx context.Context, net *nn.Network, ds *data.Dataset, psa floa
 // cancellation the dispatcher stops handing out runs, the workers
 // drain and finish their clones (the live network was never touched),
 // and the zero Summary plus ctx's error is returned.
-func evalDefectParallel(ctx context.Context, net *nn.Network, ds *data.Dataset, psa float64, cfg DefectEval, start time.Time, pool *clonePool) (metrics.Summary, error) {
+func evalDefectParallel(ctx context.Context, net *nn.Network, ds *data.Dataset, psa float64, cfg DefectEval, start time.Time, pool *ClonePool) (metrics.Summary, error) {
 	w := cfg.Workers
 	if w > cfg.Runs {
 		w = cfg.Runs
@@ -213,21 +237,21 @@ func evalDefectParallel(ctx context.Context, net *nn.Network, ds *data.Dataset, 
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			var e *cloneEntry
+			var e *CloneEntry
 			if pool != nil {
-				e = pool.get()
-				defer pool.put(e)
+				e = pool.Get()
+				defer pool.Put(e)
 			} else {
 				evalCloneCreates.Add(1)
 				clone := net.Clone()
-				e = &cloneEntry{net: clone, inj: fault.NewInjector(cfg.Model, WeightTensors(clone))}
+				e = &CloneEntry{Net: clone, inj: fault.NewInjector(cfg.Model, WeightTensors(clone))}
 			}
 			for run := range jobs {
 				if ctx.Err() != nil {
 					continue // drain without evaluating
 				}
 				lesion := e.inj.InjectRun(cfg.Seed, run, psa)
-				acc := metrics.Evaluate(e.net, ds, cfg.Batch)
+				acc := metrics.Evaluate(e.Net, ds, cfg.Batch)
 				lesion.Undo()
 				accs[run] = acc
 				if sink.Enabled() {
@@ -269,9 +293,9 @@ dispatch:
 func EvalDefectSweep(ctx context.Context, net *nn.Network, ds *data.Dataset, rates []float64, cfg DefectEval) ([]metrics.Summary, error) {
 	cfg = cfg.Normalize()
 	sink := cfg.Sink
-	var pool *clonePool
+	var pool *ClonePool
 	if cfg.Workers > 1 && cfg.Runs > 1 {
-		pool = &clonePool{src: net, model: cfg.Model}
+		pool = NewClonePool(net, cfg.Model)
 	}
 	out := make([]metrics.Summary, 0, len(rates))
 	for i, r := range rates {

@@ -68,6 +68,20 @@ const (
 	// checksum or decode and was skipped in favor of an older good one
 	// (Key = file path, Msg = reason).
 	KindCkptCorrupt Kind = "ckpt.corrupt"
+	// KindServeRequest reports one completed HTTP request against the
+	// serving API (Phase = route name "infer"/"defect-eval"/"healthz",
+	// N = HTTP status code, Seconds = request latency). The JSONL sink
+	// therefore doubles as an access log.
+	KindServeRequest Kind = "serve.request"
+	// KindServeBatch reports one executed inference micro-batch
+	// (Run = 1-based batch ordinal, N = requests coalesced into the
+	// batch, Seconds = latency from the first request's enqueue to
+	// batch completion).
+	KindServeBatch Kind = "serve.batch"
+	// KindServeDrain reports a completed graceful drain (N = queued
+	// requests flushed after the drain began, Seconds = drain wall
+	// clock).
+	KindServeDrain Kind = "serve.drain"
 )
 
 // Event is one structured observation of a run. It is a flat value
@@ -130,6 +144,12 @@ func (e Event) String() string {
 		return fmt.Sprintf("resumed from checkpoint %s (epoch %d, stage %d)", e.Key, e.Epoch, e.Stage)
 	case KindCkptCorrupt:
 		return fmt.Sprintf("corrupt checkpoint %s skipped: %s", e.Key, e.Msg)
+	case KindServeRequest:
+		return fmt.Sprintf("serve %s: HTTP %d in %.2fms", e.Phase, e.N, e.Seconds*1000)
+	case KindServeBatch:
+		return fmt.Sprintf("serve batch %d: %d request(s) in %.2fms", e.Run, e.N, e.Seconds*1000)
+	case KindServeDrain:
+		return fmt.Sprintf("serve drain: %d queued request(s) flushed in %.2fms", e.N, e.Seconds*1000)
 	}
 	if e.Msg != "" {
 		return string(e.Kind) + ": " + e.Msg

@@ -1,0 +1,178 @@
+package serve
+
+import (
+	"time"
+
+	"github.com/ftpim/ftpim/internal/core"
+	"github.com/ftpim/ftpim/internal/obs"
+	"github.com/ftpim/ftpim/internal/tensor"
+)
+
+// inferReq is one admitted inference request, owned by its handler
+// goroutine until the batcher closes done. img and scores are
+// allocated at decode time; the batch execution path itself writes
+// into them without allocating.
+type inferReq struct {
+	img    []float32 // validated C·H·W input
+	scores []float32 // filled with the output row (len classes)
+	class  int
+	batch  int       // size of the micro-batch that served this request
+	enq    time.Time // admission time; starts the batch latency clock
+	done   chan struct{}
+}
+
+// executor is one batch-execution lane: a warm network clone from the
+// shared pool plus a reusable batch buffer. Executors live for the
+// server's lifetime, so after the first few batches the forward pass
+// runs entirely on warm workspaces.
+type executor struct {
+	entry *core.CloneEntry
+	buf   []float32 // MaxBatch·stride staging area
+	x     tensor.Tensor
+}
+
+func (s *Server) newExecutor() *executor {
+	return &executor{
+		entry: s.pool.Get(),
+		buf:   make([]float32, s.cfg.MaxBatch*s.stride),
+	}
+}
+
+// batcher coalesces queued infer requests into micro-batches: the
+// first request opens a batch and arms the latency budget; the batch
+// dispatches when full or when the budget expires. Dispatch hands the
+// batch to an idle executor asynchronously, so coalescing of the next
+// batch overlaps with execution of the current one. On drain it
+// flushes everything left in the queue and waits for all executors to
+// come back idle before announcing completion.
+func (s *Server) batcher() {
+	defer close(s.drained)
+	var pending []*inferReq
+	timer := time.NewTimer(0)
+	if !timer.Stop() {
+		<-timer.C
+	}
+	for {
+		var first *inferReq
+		select {
+		case first = <-s.queue:
+		case <-s.drainCh:
+			s.finishDrain()
+			return
+		}
+		pending = append(pending[:0], first)
+		timer.Reset(s.cfg.BatchWindow)
+		draining := false
+	collect:
+		for len(pending) < s.cfg.MaxBatch {
+			select {
+			case r := <-s.queue:
+				pending = append(pending, r)
+			case <-timer.C:
+				break collect
+			case <-s.drainCh:
+				// Flush what we have; finishDrain picks up the rest.
+				draining = true
+				break collect
+			}
+		}
+		if !timer.Stop() && !draining && len(pending) == s.cfg.MaxBatch {
+			// Timer may have fired unobserved while the batch filled;
+			// drain the channel so the next Reset starts clean.
+			select {
+			case <-timer.C:
+			default:
+			}
+		}
+		s.dispatch(pending)
+		if draining {
+			s.finishDrain()
+			return
+		}
+	}
+}
+
+// dispatch hands a copy of the batch to an idle executor. Waiting for
+// an executor is deliberate backpressure: with every lane busy the
+// batcher pauses, the queue fills, and admission starts answering 429.
+func (s *Server) dispatch(batch []*inferReq) {
+	if len(batch) == 0 {
+		return
+	}
+	reqs := make([]*inferReq, len(batch))
+	copy(reqs, batch)
+	exec := <-s.execs
+	go func() {
+		s.runBatch(exec, reqs)
+		seq := s.batchSeq.Add(1)
+		if s.sink.Enabled() {
+			s.sink.Emit(obs.Event{
+				Kind:    obs.KindServeBatch,
+				Run:     int(seq),
+				N:       len(reqs),
+				Seconds: time.Since(reqs[0].enq).Seconds(),
+			})
+		}
+		for _, r := range reqs {
+			close(r.done)
+		}
+		s.execs <- exec
+	}()
+}
+
+// finishDrain empties the admission queue after drainCh has closed
+// (no new requests can arrive once it has: Drain holds the admission
+// write lock while closing it), dispatches the leftovers as final
+// batches, and waits for every executor to return — at which point
+// every dispatched batch has completed and released its handlers.
+func (s *Server) finishDrain() {
+	start := time.Now()
+	flushed := 0
+	batch := make([]*inferReq, 0, s.cfg.MaxBatch)
+	for {
+		select {
+		case r := <-s.queue:
+			batch = append(batch, r)
+			flushed++
+			if len(batch) == s.cfg.MaxBatch {
+				s.dispatch(batch)
+				batch = batch[:0]
+			}
+		default:
+			s.dispatch(batch)
+			// Reclaim every executor: when all lanes are home, every
+			// dispatched batch has completed and closed its dones.
+			for i := 0; i < s.cfg.Executors; i++ {
+				<-s.execs
+			}
+			if s.sink.Enabled() {
+				s.sink.Emit(obs.Event{
+					Kind:    obs.KindServeDrain,
+					N:       flushed,
+					Seconds: time.Since(start).Seconds(),
+				})
+			}
+			return
+		}
+	}
+}
+
+// runBatch executes one micro-batch on an executor's warm clone:
+// stage the images into the batch buffer, run one forward pass, and
+// write each request's argmax class and score row back. This is the
+// serving hot path; with warm workspaces and the sink disabled it
+// performs zero heap allocations (pinned by the alloc suite).
+func (s *Server) runBatch(e *executor, reqs []*inferReq) {
+	bs := len(reqs)
+	for i, r := range reqs {
+		copy(e.buf[i*s.stride:(i+1)*s.stride], r.img)
+	}
+	e.x.SetView(e.buf[:bs*s.stride], bs, s.c, s.h, s.w)
+	out := e.entry.Net.Forward(&e.x, false)
+	od := out.Data()
+	for i, r := range reqs {
+		r.class = out.ArgMaxRow(i)
+		copy(r.scores, od[i*s.classes:(i+1)*s.classes])
+		r.batch = bs
+	}
+}

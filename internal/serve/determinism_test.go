@@ -1,0 +1,123 @@
+package serve
+
+// Determinism conformance at the network boundary: this extends the
+// engine's determinism-equivalence suite (internal/core
+// parallel_test.go) to the served API. A defect-eval request must
+// return byte-identical results to a direct core.EvalDefectSweep call
+// with the same parameters — at every tested client concurrency,
+// while the server is simultaneously running inference batches on the
+// same clone pool.
+
+import (
+	"encoding/json"
+	"net/http"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/ftpim/ftpim/internal/core"
+)
+
+func TestServedDefectEvalBitIdenticalToDirect(t *testing.T) {
+	rates := []float64{0, 0.02, 0.1}
+	const runs = 3
+	const seed = uint64(1234)
+	evalBase := core.DefectEval{Runs: 5, Batch: 16, Seed: 999, Workers: 2}
+
+	s, net, test := newTestServer(t, Config{
+		Eval:            evalBase,
+		EvalConcurrency: 64, // the conformance sweep must never be admission-limited
+		MaxEvalRates:    8,
+	})
+	h := s.Handler()
+
+	// The ground truth: a direct engine call with the request's
+	// parameters layered over the server's configured defaults,
+	// serialized through the same response constructor the handler
+	// uses. EvalDefectSweep restores the live network's weights, so
+	// computing it on the source model is side-effect-free.
+	cfg := evalBase
+	cfg.Runs = runs
+	cfg.Seed = seed
+	sums, err := core.EvalDefectSweep(bg, net, test, rates, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantBody, err := json.Marshal(NewDefectEvalResponse(seed, runs, rates, sums))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := string(wantBody) + "\n"
+
+	body, _ := json.Marshal(DefectEvalRequest{Rates: rates, Runs: runs, Seed: ptr(seed)})
+	inferBody, _ := json.Marshal(InferRequest{Image: testImage(test)})
+
+	for _, concurrency := range []int{1, 8, 64} {
+		// Background inference load: the defect-eval responses must be
+		// unaffected by whatever else the clone pool is serving.
+		stopLoad := make(chan struct{})
+		var loadWG sync.WaitGroup
+		loadWG.Add(1)
+		go func() {
+			defer loadWG.Done()
+			for {
+				select {
+				case <-stopLoad:
+					return
+				default:
+					postJSON(h, "/v1/infer", inferBody)
+					time.Sleep(time.Millisecond)
+				}
+			}
+		}()
+
+		bodies := make([]string, concurrency)
+		var wg sync.WaitGroup
+		for i := 0; i < concurrency; i++ {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				rec := postJSON(h, "/v1/defect-eval", body)
+				if rec.Code != http.StatusOK {
+					bodies[i] = "HTTP " + rec.Result().Status + ": " + rec.Body.String()
+					return
+				}
+				bodies[i] = rec.Body.String()
+			}(i)
+		}
+		wg.Wait()
+		close(stopLoad)
+		loadWG.Wait()
+
+		for i, got := range bodies {
+			if got != want {
+				t.Fatalf("concurrency %d: response %d diverges from the direct engine call\n got: %s\nwant: %s",
+					concurrency, i, got, want)
+			}
+		}
+	}
+}
+
+// TestServedDefectEvalDefaultsEchoed pins that a request omitting
+// seed/runs inherits the server's configured defaults and reports
+// them, so clients can always reproduce a response offline.
+func TestServedDefectEvalDefaultsEchoed(t *testing.T) {
+	evalBase := core.DefectEval{Runs: 4, Batch: 16, Seed: 777, Workers: 1}
+	s, net, test := newTestServer(t, Config{Eval: evalBase})
+	rates := []float64{0.05}
+
+	rec := postJSON(s.Handler(), "/v1/defect-eval", []byte(`{"rates":[0.05]}`))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("HTTP %d: %s", rec.Code, rec.Body)
+	}
+	sums, err := core.EvalDefectSweep(bg, net, test, rates, evalBase.Normalize())
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantBody, _ := json.Marshal(NewDefectEvalResponse(777, 4, rates, sums))
+	if got, want := rec.Body.String(), string(wantBody)+"\n"; got != want {
+		t.Fatalf("defaulted request diverges from direct call:\n got: %s\nwant: %s", got, want)
+	}
+}
+
+func ptr[T any](v T) *T { return &v }

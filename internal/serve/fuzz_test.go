@@ -1,0 +1,104 @@
+package serve
+
+// Fuzz targets for the JSON request decoders: whatever bytes arrive,
+// the handlers must answer 2xx/4xx — never a panic, never a 5xx —
+// and every non-2xx body must carry the structured error envelope.
+// (`go test` exercises the seed corpus; `go test -fuzz` explores.)
+
+import (
+	"encoding/json"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+
+	"github.com/ftpim/ftpim/internal/core"
+)
+
+// fuzzServer is shared across fuzz iterations; eval costs are capped
+// hard so hostile-but-valid bodies stay cheap.
+var (
+	fuzzOnce sync.Once
+	fuzzSrv  *Server
+)
+
+func fuzzHandler() http.Handler {
+	fuzzOnce.Do(func() {
+		net, test := fixture()
+		s, err := New(net, test, Config{
+			MaxEvalRuns:  3,
+			MaxEvalRates: 3,
+			Eval:         core.DefectEval{Runs: 2, Batch: 16, Workers: 1},
+		})
+		if err != nil {
+			panic(err)
+		}
+		fuzzSrv = s
+	})
+	return fuzzSrv.Handler()
+}
+
+// checkResponse enforces the fuzz contract on one response.
+func checkResponse(t *testing.T, path string, body []byte, code int, respBody []byte) {
+	t.Helper()
+	if code >= 500 {
+		t.Fatalf("%s: HTTP %d for body %q: %s", path, code, body, respBody)
+	}
+	if code != http.StatusOK {
+		var er ErrorResponse
+		if err := json.Unmarshal(respBody, &er); err != nil {
+			t.Fatalf("%s: HTTP %d body is not the error envelope: %v: %s", path, code, err, respBody)
+		}
+		if er.Error.Code == "" || er.Error.Message == "" {
+			t.Fatalf("%s: HTTP %d with empty error envelope: %s", path, code, respBody)
+		}
+	}
+}
+
+func FuzzInferRequest(f *testing.F) {
+	_, test := fixture()
+	valid, _ := json.Marshal(InferRequest{Image: testImage(test)})
+	f.Add(string(valid))
+	f.Add(``)
+	f.Add(`{}`)
+	f.Add(`{"image":[]}`)
+	f.Add(`{"image":[NaN,Infinity,-Infinity]}`)
+	f.Add(`{"image":[1e999]}`)
+	f.Add(`{"image":[1,2,3]}`)
+	f.Add(`{"image":"not an array"}`)
+	f.Add(`{"image":[0.1],"extra":true}`)
+	f.Add(`[[[[`)
+	f.Add(`{"image":[0.1]} trailing`)
+	f.Add(string(valid[:len(valid)/2]))
+	f.Add(strings.Repeat(`[`, 10_000))
+
+	h := fuzzHandler()
+	f.Fuzz(func(t *testing.T, body string) {
+		rec := postJSON(h, "/v1/infer", []byte(body))
+		checkResponse(t, "/v1/infer", []byte(body), rec.Code, rec.Body.Bytes())
+	})
+}
+
+func FuzzDefectEvalRequest(f *testing.F) {
+	f.Add(`{"rates":[0.01],"runs":2,"seed":7}`)
+	f.Add(`{"rates":[0,1]}`)
+	f.Add(``)
+	f.Add(`{}`)
+	f.Add(`{"rates":[]}`)
+	f.Add(`{"rates":[NaN]}`)
+	f.Add(`{"rates":[1e999]}`)
+	f.Add(`{"rates":[-0.5,2]}`)
+	f.Add(`{"rates":[0.1],"runs":-3}`)
+	f.Add(`{"rates":[0.1],"runs":100000}`)
+	f.Add(`{"rates":[0.1],"batch":-1}`)
+	f.Add(`{"rates":[0.1],"seed":-1}`)
+	f.Add(`{"rates":[0.1],"workers":9}`)
+	f.Add(`{"rates":"all"}`)
+	f.Add(`{"rates":[0.1]}{"rates":[0.1]}`)
+
+	h := fuzzHandler()
+	f.Fuzz(func(t *testing.T, body string) {
+		rec := postJSON(h, "/v1/defect-eval", []byte(body))
+		checkResponse(t, "/v1/defect-eval", []byte(body), rec.Code, rec.Body.Bytes())
+	})
+}

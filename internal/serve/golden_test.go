@@ -1,0 +1,118 @@
+package serve
+
+// Golden-file test for the serve.* event stream, mirroring the
+// experiments JSONL golden test: a scripted request sequence against
+// a single-batch server must emit a schema-versioned, structurally
+// reproducible access log. Structural fields (kind, phase, ordinals,
+// rate, n) are pinned; measured values (latencies, accuracies,
+// timestamps) are excluded so the contract outlives retuning.
+//
+// Regenerate with:
+//
+//	go test ./internal/serve -run TestServeEventStream -update
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"github.com/ftpim/ftpim/internal/core"
+	"github.com/ftpim/ftpim/internal/obs"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden files")
+
+func TestServeEventStream(t *testing.T) {
+	var buf bytes.Buffer
+	sink := obs.NewJSONL(&buf)
+	sink.SetClock(nil) // omit timestamps: the stream becomes deterministic
+
+	net, test := fixture()
+	s, err := New(net, test, Config{
+		// MaxBatch 1 makes every request its own batch with no timer
+		// involvement, so a sequential driver yields one fixed stream.
+		MaxBatch: 1,
+		Eval:     core.DefectEval{Runs: 2, Batch: 16, Seed: 5, Workers: 1},
+		Sink:     sink,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := s.Handler()
+
+	img, _ := json.Marshal(InferRequest{Image: testImage(test)})
+	postJSON(h, "/v1/infer", img)
+	postJSON(h, "/v1/infer", img)
+	postJSON(h, "/v1/defect-eval", []byte(`{"rates":[0,0.05],"runs":2,"seed":5}`))
+	req := httptest.NewRequest(http.MethodGet, "/v1/healthz", nil)
+	h.ServeHTTP(httptest.NewRecorder(), req)
+	postJSON(h, "/v1/infer", []byte(`{"image":[1,2,3]}`)) // 400
+	postJSON(h, "/v1/nope", nil)                          // 404
+	s.Drain()
+
+	var keys []string
+	sc := bufio.NewScanner(&buf)
+	for sc.Scan() {
+		line := sc.Bytes()
+		var rec struct {
+			Schema string  `json:"schema"`
+			T      string  `json:"t"`
+			Kind   string  `json:"kind"`
+			Phase  string  `json:"phase"`
+			Run    int     `json:"run"`
+			Rate   float64 `json:"rate"`
+			N      int     `json:"n"`
+		}
+		if err := json.Unmarshal(line, &rec); err != nil {
+			t.Fatalf("invalid JSONL line %q: %v", line, err)
+		}
+		if rec.Schema != obs.SchemaVersion {
+			t.Fatalf("line carries schema %q, want %q: %s", rec.Schema, obs.SchemaVersion, line)
+		}
+		if rec.T != "" {
+			t.Fatalf("nil clock must omit the t field: %s", line)
+		}
+		keys = append(keys, fmt.Sprintf("%s|%s|%d|%g|%d",
+			rec.Kind, rec.Phase, rec.Run, rec.Rate, rec.N))
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatalf("scan: %v", err)
+	}
+	if len(keys) == 0 {
+		t.Fatal("the scripted serve session emitted no events")
+	}
+	got := strings.Join(keys, "\n") + "\n"
+
+	golden := filepath.Join("testdata", "serve_events.golden")
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("missing golden file (regenerate with -update): %v", err)
+	}
+	if got != string(want) {
+		gl, wl := strings.Split(got, "\n"), strings.Split(string(want), "\n")
+		for i := 0; i < len(gl) && i < len(wl); i++ {
+			if gl[i] != wl[i] {
+				t.Fatalf("event stream diverges from golden at line %d:\n got %q\nwant %q\n(%d vs %d lines; regenerate with -update if intentional)",
+					i+1, gl[i], wl[i], len(gl), len(wl))
+			}
+		}
+		t.Fatalf("event stream length diverges from golden: got %d lines, want %d (regenerate with -update if intentional)",
+			len(gl), len(wl))
+	}
+}

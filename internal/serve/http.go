@@ -1,0 +1,346 @@
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math"
+	"net/http"
+	"strconv"
+	"time"
+
+	"github.com/ftpim/ftpim/internal/core"
+	"github.com/ftpim/ftpim/internal/metrics"
+	"github.com/ftpim/ftpim/internal/obs"
+)
+
+// maxBodyBytes bounds request bodies; a CIFAR-scale image encodes in
+// well under 100 KiB of JSON, so 1 MiB leaves generous headroom while
+// keeping hostile payloads cheap to reject.
+const maxBodyBytes = 1 << 20
+
+// InferRequest is the body of POST /v1/infer: one image as a flat
+// C·H·W float array in the model's normalized input space.
+type InferRequest struct {
+	Image []float32 `json:"image"`
+}
+
+// InferResponse is the body of a successful /v1/infer call. Batch
+// reports how many concurrent requests were coalesced into the
+// micro-batch that served this one — useful for load-test assertions
+// and capacity tuning, irrelevant to the prediction itself.
+type InferResponse struct {
+	Class  int       `json:"class"`
+	Scores []float32 `json:"scores"`
+	Batch  int       `json:"batch"`
+}
+
+// DefectEvalRequest is the body of POST /v1/defect-eval: a
+// Monte-Carlo stability evaluation over the given stuck-at rates.
+// Omitted fields inherit the server's configured defaults.
+type DefectEvalRequest struct {
+	Rates []float64 `json:"rates"`
+	Runs  int       `json:"runs,omitempty"`
+	Seed  *uint64   `json:"seed,omitempty"`
+	Batch int       `json:"batch,omitempty"`
+}
+
+// RateResult is one rate's Monte-Carlo summary, mirroring
+// metrics.Summary field for field.
+type RateResult struct {
+	Rate float64 `json:"rate"`
+	N    int     `json:"n"`
+	Mean float64 `json:"mean"`
+	Std  float64 `json:"std"`
+	Min  float64 `json:"min"`
+	Max  float64 `json:"max"`
+	P50  float64 `json:"p50"`
+}
+
+// DefectEvalResponse is the body of a successful /v1/defect-eval
+// call. It echoes the effective seed and runs so a client can
+// reproduce the result offline with a direct engine call.
+type DefectEvalResponse struct {
+	Seed    uint64       `json:"seed"`
+	Runs    int          `json:"runs"`
+	Results []RateResult `json:"results"`
+}
+
+// NewDefectEvalResponse assembles the wire response for one sweep.
+// Exported (package-internally shared with the conformance suite) so
+// the byte-identity test serializes direct engine results through the
+// exact code path the handler uses.
+func NewDefectEvalResponse(seed uint64, runs int, rates []float64, sums []metrics.Summary) DefectEvalResponse {
+	resp := DefectEvalResponse{Seed: seed, Runs: runs, Results: make([]RateResult, len(sums))}
+	for i, s := range sums {
+		resp.Results[i] = RateResult{
+			Rate: rates[i], N: s.N, Mean: s.Mean, Std: s.Std,
+			Min: s.Min, Max: s.Max, P50: s.P50,
+		}
+	}
+	return resp
+}
+
+// HealthResponse is the body of GET /v1/healthz.
+type HealthResponse struct {
+	Status   string  `json:"status"` // "ok" or "draining"
+	Params   int     `json:"params"`
+	Classes  int     `json:"classes"`
+	Dims     [3]int  `json:"dims"` // C, H, W
+	Queue    int     `json:"queue"`
+	MaxBatch int     `json:"max_batch"`
+	UptimeS  float64 `json:"uptime_s"`
+}
+
+// ErrorResponse is the envelope every non-2xx response carries.
+type ErrorResponse struct {
+	Error ErrorBody `json:"error"`
+}
+
+// ErrorBody identifies a failure with a stable machine-readable code
+// and a human-readable message.
+type ErrorBody struct {
+	Code    string `json:"code"`
+	Message string `json:"message"`
+}
+
+// Error codes used by the API.
+const (
+	CodeBadRequest       = "bad_request"
+	CodeTooLarge         = "too_large"
+	CodeNotFound         = "not_found"
+	CodeMethodNotAllowed = "method_not_allowed"
+	CodeOverloaded       = "overloaded"
+	CodeDraining         = "draining"
+	CodeCanceled         = "canceled"
+)
+
+// Handler returns the service's HTTP handler.
+func (s *Server) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		switch r.URL.Path {
+		case "/v1/infer":
+			s.route(w, r, "infer", http.MethodPost, s.handleInfer)
+		case "/v1/defect-eval":
+			s.route(w, r, "defect-eval", http.MethodPost, s.handleDefectEval)
+		case "/v1/healthz":
+			s.route(w, r, "healthz", http.MethodGet, s.handleHealthz)
+		default:
+			s.route(w, r, "unknown", r.Method, func(w http.ResponseWriter, r *http.Request) int {
+				return s.writeError(w, http.StatusNotFound, CodeNotFound,
+					fmt.Sprintf("no route %s", r.URL.Path))
+			})
+		}
+	})
+}
+
+// route enforces the method, runs the handler, and emits one
+// serve.request event carrying the route name, final status, and
+// latency. Handlers return the status they wrote.
+func (s *Server) route(w http.ResponseWriter, r *http.Request, name, method string, h func(http.ResponseWriter, *http.Request) int) {
+	start := time.Now()
+	var status int
+	if r.Method != method {
+		w.Header().Set("Allow", method)
+		status = s.writeError(w, http.StatusMethodNotAllowed, CodeMethodNotAllowed,
+			fmt.Sprintf("%s requires %s", r.URL.Path, method))
+	} else {
+		status = h(w, r)
+	}
+	if s.sink.Enabled() {
+		s.sink.Emit(obs.Event{
+			Kind:    obs.KindServeRequest,
+			Phase:   name,
+			N:       status,
+			Seconds: time.Since(start).Seconds(),
+		})
+	}
+}
+
+// writeJSON writes a 200 response. Marshalling a response struct
+// cannot fail; write errors mean the client went away and are
+// ignored, as an access log (the serve.request event) still records
+// the outcome.
+func (s *Server) writeJSON(w http.ResponseWriter, v any) int {
+	b, err := json.Marshal(v)
+	if err != nil {
+		return s.writeError(w, http.StatusInternalServerError, "internal", err.Error())
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusOK)
+	w.Write(append(b, '\n'))
+	return http.StatusOK
+}
+
+func (s *Server) writeError(w http.ResponseWriter, status int, code, msg string) int {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	b, _ := json.Marshal(ErrorResponse{Error: ErrorBody{Code: code, Message: msg}})
+	w.Write(append(b, '\n'))
+	return status
+}
+
+// decodeJSON decodes a request body strictly: unknown fields,
+// trailing garbage, oversized bodies, and syntactically invalid JSON
+// (including NaN/Inf literals and out-of-range numbers, which
+// encoding/json already rejects) all yield a 4xx error code.
+func decodeJSON(w http.ResponseWriter, r *http.Request, v any) (code string, status int, err error) {
+	body := http.MaxBytesReader(w, r.Body, maxBodyBytes)
+	dec := json.NewDecoder(body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		var tooLarge *http.MaxBytesError
+		if errors.As(err, &tooLarge) {
+			return CodeTooLarge, http.StatusRequestEntityTooLarge,
+				fmt.Errorf("body exceeds %d bytes", maxBodyBytes)
+		}
+		return CodeBadRequest, http.StatusBadRequest, fmt.Errorf("invalid JSON: %v", err)
+	}
+	// A second document after the first is a malformed request, not a
+	// stream.
+	if dec.More() {
+		return CodeBadRequest, http.StatusBadRequest, errors.New("trailing data after JSON body")
+	}
+	return "", 0, nil
+}
+
+func (s *Server) handleInfer(w http.ResponseWriter, r *http.Request) int {
+	var req InferRequest
+	if code, status, err := decodeJSON(w, r, &req); err != nil {
+		return s.writeError(w, status, code, err.Error())
+	}
+	if len(req.Image) != s.stride {
+		return s.writeError(w, http.StatusBadRequest, CodeBadRequest,
+			fmt.Sprintf("image has %d values, model expects %d (%d×%d×%d)",
+				len(req.Image), s.stride, s.c, s.h, s.w))
+	}
+	// encoding/json cannot produce NaN/Inf from valid input, but the
+	// engine must never see them even if the decoder changes.
+	for i, v := range req.Image {
+		if f := float64(v); math.IsNaN(f) || math.IsInf(f, 0) {
+			return s.writeError(w, http.StatusBadRequest, CodeBadRequest,
+				fmt.Sprintf("image[%d] is not finite", i))
+		}
+	}
+	ir := &inferReq{
+		img:    req.Image,
+		scores: make([]float32, s.classes),
+		enq:    time.Now(),
+		done:   make(chan struct{}),
+	}
+	// The admission read lock pairs with Drain's write lock: a request
+	// that passes the draining check here is guaranteed to land in the
+	// queue before drainCh closes, so the batcher will flush it.
+	s.admission.RLock()
+	if s.draining.Load() {
+		s.admission.RUnlock()
+		return s.writeError(w, http.StatusServiceUnavailable, CodeDraining, "server is draining")
+	}
+	select {
+	case s.queue <- ir:
+		s.accepted.Add(1)
+		s.admission.RUnlock()
+	default:
+		s.admission.RUnlock()
+		w.Header().Set("Retry-After", retryAfterSeconds(s.cfg.RetryAfter))
+		return s.writeError(w, http.StatusTooManyRequests, CodeOverloaded,
+			fmt.Sprintf("infer queue full (%d requests)", s.cfg.QueueDepth))
+	}
+	<-ir.done
+	return s.writeJSON(w, InferResponse{Class: ir.class, Scores: ir.scores, Batch: ir.batch})
+}
+
+func (s *Server) handleDefectEval(w http.ResponseWriter, r *http.Request) int {
+	var req DefectEvalRequest
+	if code, status, err := decodeJSON(w, r, &req); err != nil {
+		return s.writeError(w, status, code, err.Error())
+	}
+	if len(req.Rates) == 0 {
+		return s.writeError(w, http.StatusBadRequest, CodeBadRequest, "rates must be non-empty")
+	}
+	if len(req.Rates) > s.cfg.MaxEvalRates {
+		return s.writeError(w, http.StatusBadRequest, CodeBadRequest,
+			fmt.Sprintf("%d rates exceeds the limit of %d", len(req.Rates), s.cfg.MaxEvalRates))
+	}
+	for i, rate := range req.Rates {
+		if math.IsNaN(rate) || rate < 0 || rate > 1 {
+			return s.writeError(w, http.StatusBadRequest, CodeBadRequest,
+				fmt.Sprintf("rates[%d] = %v is outside [0, 1]", i, rate))
+		}
+	}
+	if req.Runs < 0 || req.Runs > s.cfg.MaxEvalRuns {
+		return s.writeError(w, http.StatusBadRequest, CodeBadRequest,
+			fmt.Sprintf("runs = %d is outside [0, %d]", req.Runs, s.cfg.MaxEvalRuns))
+	}
+	if req.Batch < 0 {
+		return s.writeError(w, http.StatusBadRequest, CodeBadRequest,
+			fmt.Sprintf("batch = %d is negative", req.Batch))
+	}
+	if s.draining.Load() {
+		return s.writeError(w, http.StatusServiceUnavailable, CodeDraining, "server is draining")
+	}
+	select {
+	case s.evals <- struct{}{}:
+		defer func() { <-s.evals }()
+	default:
+		w.Header().Set("Retry-After", retryAfterSeconds(s.cfg.RetryAfter))
+		return s.writeError(w, http.StatusTooManyRequests, CodeOverloaded,
+			fmt.Sprintf("at defect-eval concurrency limit (%d)", s.cfg.EvalConcurrency))
+	}
+
+	cfg := s.cfg.Eval
+	if req.Runs > 0 {
+		cfg.Runs = req.Runs
+	}
+	if req.Seed != nil {
+		cfg.Seed = *req.Seed
+	}
+	if req.Batch > 0 {
+		cfg.Batch = req.Batch
+	}
+	// A checked-out clone is bit-identical to the source model and the
+	// sweep's Monte-Carlo draws depend only on (seed, run), so this
+	// response matches a direct core.EvalDefectSweep call byte for
+	// byte regardless of which clone served it or what else the server
+	// is doing. The lesions are undone before the clone is pooled.
+	e := s.pool.Get()
+	defer s.pool.Put(e)
+	sums, err := core.EvalDefectSweep(r.Context(), e.Net, s.test, req.Rates, cfg)
+	if err != nil {
+		// Only a cancelled request context reaches here: the client
+		// went away (or the listener is shutting down with a deadline).
+		return s.writeError(w, http.StatusServiceUnavailable, CodeCanceled, err.Error())
+	}
+	return s.writeJSON(w, NewDefectEvalResponse(cfg.Seed, cfg.Runs, req.Rates, sums))
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) int {
+	h := HealthResponse{
+		Status:   "ok",
+		Params:   s.params,
+		Classes:  s.classes,
+		Dims:     [3]int{s.c, s.h, s.w},
+		Queue:    len(s.queue),
+		MaxBatch: s.cfg.MaxBatch,
+		UptimeS:  time.Since(s.start).Seconds(),
+	}
+	if s.draining.Load() {
+		h.Status = "draining"
+		// Report draining with 503 so load balancers stop routing
+		// here, while the body still describes the instance.
+		b, _ := json.Marshal(h)
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusServiceUnavailable)
+		w.Write(append(b, '\n'))
+		return http.StatusServiceUnavailable
+	}
+	return s.writeJSON(w, h)
+}
+
+func retryAfterSeconds(d time.Duration) string {
+	secs := int(math.Ceil(d.Seconds()))
+	if secs < 1 {
+		secs = 1
+	}
+	return strconv.Itoa(secs)
+}

@@ -1,0 +1,243 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+)
+
+// LoadOptions drives a load test.
+type LoadOptions struct {
+	// Clients is the number of concurrent client goroutines (<=0 → 64).
+	Clients int
+	// Requests is the number of successful infer requests each client
+	// must complete (<=0 → 4).
+	Requests int
+	// Image is the request payload; must match the served model's
+	// input size.
+	Image []float32
+	// EvalEvery mixes in one defect-eval request per client after
+	// every EvalEvery infer requests (0 disables the mix-in).
+	EvalEvery int
+	// EvalBody is the defect-eval request used for the mix-in; nil
+	// with EvalEvery > 0 defaults to one rate at 0.01 with 2 runs.
+	EvalBody *DefectEvalRequest
+	// MaxRetries bounds the 429 retries per request (<=0 → 10_000).
+	// Admission rejections are the service working as designed; the
+	// harness retries them and reports the count.
+	MaxRetries int
+}
+
+// LoadResult summarizes one load test.
+type LoadResult struct {
+	Clients    int     `json:"clients"`
+	Requests   int     `json:"requests"` // successful requests, all kinds
+	Infer      int     `json:"infer"`
+	Evals      int     `json:"evals"`
+	Rejected   int     `json:"rejected_429"` // admission rejections retried
+	Errors     int     `json:"errors"`       // non-200, non-429 responses
+	Seconds    float64 `json:"seconds"`
+	Throughput float64 `json:"throughput_rps"`
+	P50ms      float64 `json:"p50_ms"`
+	P90ms      float64 `json:"p90_ms"`
+	P99ms      float64 `json:"p99_ms"`
+	MaxMs      float64 `json:"max_ms"`
+	MeanBatch  float64 `json:"mean_batch"` // average micro-batch size over infer responses
+}
+
+// Load drives h with opt.Clients concurrent in-process clients, each
+// completing opt.Requests infer calls (retrying 429s), and returns
+// latency percentiles and throughput. Requests go straight to the
+// handler through httptest machinery — no sockets — so thousands of
+// concurrent clients exercise the batcher, admission control, and
+// JSON layers without exhausting file descriptors.
+func Load(h http.Handler, opt LoadOptions) (LoadResult, error) {
+	if opt.Clients <= 0 {
+		opt.Clients = 64
+	}
+	if opt.Requests <= 0 {
+		opt.Requests = 4
+	}
+	if opt.MaxRetries <= 0 {
+		opt.MaxRetries = 10_000
+	}
+	if len(opt.Image) == 0 {
+		return LoadResult{}, fmt.Errorf("serve: load test needs an image payload")
+	}
+	inferBody, err := json.Marshal(InferRequest{Image: opt.Image})
+	if err != nil {
+		return LoadResult{}, err
+	}
+	var evalBody []byte
+	if opt.EvalEvery > 0 {
+		eb := opt.EvalBody
+		if eb == nil {
+			eb = &DefectEvalRequest{Rates: []float64{0.01}, Runs: 2}
+		}
+		if evalBody, err = json.Marshal(eb); err != nil {
+			return LoadResult{}, err
+		}
+	}
+
+	type clientStats struct {
+		latencies []time.Duration
+		batchSum  int
+		infer     int
+		evals     int
+		rejected  int
+		errors    int
+	}
+	stats := make([]clientStats, opt.Clients)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for c := 0; c < opt.Clients; c++ {
+		wg.Add(1)
+		go func(cs *clientStats) {
+			defer wg.Done()
+			cs.latencies = make([]time.Duration, 0, opt.Requests)
+			do := func(path string, body []byte) (*httptest.ResponseRecorder, time.Duration) {
+				for attempt := 0; ; attempt++ {
+					req := httptest.NewRequest(http.MethodPost, path, bytes.NewReader(body))
+					req.Header.Set("Content-Type", "application/json")
+					rec := httptest.NewRecorder()
+					t0 := time.Now()
+					h.ServeHTTP(rec, req)
+					d := time.Since(t0)
+					if rec.Code == http.StatusTooManyRequests && attempt < opt.MaxRetries {
+						cs.rejected++
+						time.Sleep(500 * time.Microsecond)
+						continue
+					}
+					return rec, d
+				}
+			}
+			for i := 0; i < opt.Requests; i++ {
+				rec, d := do("/v1/infer", inferBody)
+				if rec.Code != http.StatusOK {
+					cs.errors++
+					continue
+				}
+				var resp InferResponse
+				if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil || resp.Batch < 1 {
+					cs.errors++
+					continue
+				}
+				cs.latencies = append(cs.latencies, d)
+				cs.batchSum += resp.Batch
+				cs.infer++
+				if opt.EvalEvery > 0 && (i+1)%opt.EvalEvery == 0 {
+					rec, _ := do("/v1/defect-eval", evalBody)
+					if rec.Code != http.StatusOK {
+						cs.errors++
+					} else {
+						cs.evals++
+					}
+				}
+			}
+		}(&stats[c])
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	res := LoadResult{Clients: opt.Clients, Seconds: elapsed.Seconds()}
+	var all []time.Duration
+	batchSum := 0
+	for i := range stats {
+		cs := &stats[i]
+		all = append(all, cs.latencies...)
+		batchSum += cs.batchSum
+		res.Infer += cs.infer
+		res.Evals += cs.evals
+		res.Rejected += cs.rejected
+		res.Errors += cs.errors
+	}
+	res.Requests = res.Infer + res.Evals
+	if res.Seconds > 0 {
+		res.Throughput = float64(res.Requests) / res.Seconds
+	}
+	if res.Infer > 0 {
+		res.MeanBatch = float64(batchSum) / float64(res.Infer)
+	}
+	if len(all) > 0 {
+		sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+		ms := func(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
+		pct := func(p float64) time.Duration {
+			i := int(p * float64(len(all)-1))
+			return all[i]
+		}
+		res.P50ms = ms(pct(0.50))
+		res.P90ms = ms(pct(0.90))
+		res.P99ms = ms(pct(0.99))
+		res.MaxMs = ms(all[len(all)-1])
+	}
+	return res, nil
+}
+
+// BenchRecord is the schema of results/BENCH_serve.json.
+type BenchRecord struct {
+	Schema      string     `json:"schema"`
+	Description string     `json:"description"`
+	Host        BenchHost  `json:"host"`
+	Config      BenchSetup `json:"config"`
+	Result      LoadResult `json:"result"`
+}
+
+// BenchHost describes the machine the record was taken on.
+type BenchHost struct {
+	GOOS   string `json:"goos"`
+	GOARCH string `json:"goarch"`
+	NumCPU int    `json:"num_cpu"`
+}
+
+// BenchSetup records the server and workload shape behind the numbers.
+type BenchSetup struct {
+	Preset        string  `json:"preset"`
+	MaxBatch      int     `json:"max_batch"`
+	BatchWindowMs float64 `json:"batch_window_ms"`
+	QueueDepth    int     `json:"queue_depth"`
+	Executors     int     `json:"executors"`
+	Clients       int     `json:"clients"`
+	PerClient     int     `json:"requests_per_client"`
+}
+
+// BenchSchemaVersion identifies the BENCH_serve.json schema.
+const BenchSchemaVersion = "ftpim.bench.serve/v1"
+
+// WriteBench writes a load-test record to path (atomically via temp
+// file + rename, like every other artifact the project persists).
+func WriteBench(path, preset string, cfg Config, setupClients, perClient int, res LoadResult) error {
+	cfg = cfg.Normalize()
+	rec := BenchRecord{
+		Schema: BenchSchemaVersion,
+		Description: "In-process load test of the ftpim serving layer: concurrent clients " +
+			"driving POST /v1/infer (plus a defect-eval mix-in) through the micro-batcher. " +
+			"Regenerate with: ftpim serve -preset " + preset + " -loadtest -bench-out " + path,
+		Host: BenchHost{GOOS: runtime.GOOS, GOARCH: runtime.GOARCH, NumCPU: runtime.NumCPU()},
+		Config: BenchSetup{
+			Preset:        preset,
+			MaxBatch:      cfg.MaxBatch,
+			BatchWindowMs: float64(cfg.BatchWindow) / float64(time.Millisecond),
+			QueueDepth:    cfg.QueueDepth,
+			Executors:     cfg.Executors,
+			Clients:       setupClients,
+			PerClient:     perClient,
+		},
+		Result: res,
+	}
+	b, err := json.MarshalIndent(rec, "", "  ")
+	if err != nil {
+		return err
+	}
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, append(b, '\n'), 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, path)
+}

@@ -1,0 +1,126 @@
+package serve
+
+// Tests for the in-process load harness: a small always-on smoke run,
+// the acceptance-scale run (>=1000 concurrent clients, skipped under
+// -short), and a WriteBench round-trip pinning the bench JSON schema.
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"github.com/ftpim/ftpim/internal/core"
+)
+
+func TestLoadSmoke(t *testing.T) {
+	s, _, test := newTestServer(t, Config{
+		MaxBatch:    16,
+		BatchWindow: time.Millisecond,
+		Eval:        core.DefectEval{Runs: 2, Batch: 16, Workers: 1},
+	})
+	res, err := Load(s.Handler(), LoadOptions{
+		Clients:   32,
+		Requests:  3,
+		Image:     testImage(test),
+		EvalEvery: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Errors != 0 {
+		t.Fatalf("%d hard errors under smoke load", res.Errors)
+	}
+	if want := 32 * 3; res.Infer != want {
+		t.Fatalf("completed %d infer requests, want %d", res.Infer, want)
+	}
+	if res.Evals != 32 {
+		t.Fatalf("completed %d defect-evals, want 32", res.Evals)
+	}
+	if res.Throughput <= 0 || res.Seconds <= 0 {
+		t.Fatalf("degenerate timing: %+v", res)
+	}
+	if res.P50ms <= 0 || res.P99ms < res.P50ms || res.MaxMs < res.P99ms {
+		t.Fatalf("latency percentiles out of order: p50=%.3f p99=%.3f max=%.3f",
+			res.P50ms, res.P99ms, res.MaxMs)
+	}
+}
+
+// TestLoadThousandClients is the acceptance-scale run: >=1000
+// concurrent clients against the in-process handler. On a small host
+// this is also the strongest coalescing evidence — with 2 executors
+// and 1000 waiting clients, micro-batches must form.
+func TestLoadThousandClients(t *testing.T) {
+	if testing.Short() {
+		t.Skip("1000-client load test skipped in -short mode")
+	}
+	s, _, test := newTestServer(t, Config{
+		MaxBatch:    32,
+		BatchWindow: 2 * time.Millisecond,
+		QueueDepth:  256,
+		Executors:   2,
+		Eval:        core.DefectEval{Runs: 2, Batch: 16, Workers: 1},
+	})
+	res, err := Load(s.Handler(), LoadOptions{
+		Clients:   1000,
+		Requests:  2,
+		Image:     testImage(test),
+		EvalEvery: 0,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Errors != 0 {
+		t.Fatalf("%d hard errors at 1000 clients", res.Errors)
+	}
+	if want := 1000 * 2; res.Infer != want {
+		t.Fatalf("completed %d infer requests, want %d (429s must be retried, not dropped)",
+			res.Infer, want)
+	}
+	if res.Throughput <= 0 {
+		t.Fatalf("throughput %.1f req/s, want > 0", res.Throughput)
+	}
+	// 1000 clients against a 256-deep queue and 2 executors cannot be
+	// served one request per batch.
+	if res.MeanBatch <= 1 {
+		t.Fatalf("mean batch %.2f at 1000 concurrent clients: micro-batching is not coalescing",
+			res.MeanBatch)
+	}
+	t.Logf("1000 clients: %.1f req/s, p50 %.2fms p99 %.2fms, mean batch %.1f, %d retried 429s",
+		res.Throughput, res.P50ms, res.P99ms, res.MeanBatch, res.Rejected)
+}
+
+func TestWriteBenchRoundTrip(t *testing.T) {
+	cfg := Config{MaxBatch: 32, BatchWindow: 2 * time.Millisecond, QueueDepth: 256, Executors: 2}.Normalize()
+	res := LoadResult{
+		Clients: 1000, Requests: 2000, Infer: 2000,
+		Seconds: 1.5, Throughput: 1333.3,
+		P50ms: 4.2, P90ms: 9.9, P99ms: 21.0, MaxMs: 30.1, MeanBatch: 24.6,
+	}
+	path := filepath.Join(t.TempDir(), "BENCH_serve.json")
+	if err := WriteBench(path, "smoke", cfg, 1000, 2, res); err != nil {
+		t.Fatal(err)
+	}
+
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rec BenchRecord
+	if err := json.Unmarshal(raw, &rec); err != nil {
+		t.Fatalf("bench file is not valid JSON: %v", err)
+	}
+	if rec.Schema != BenchSchemaVersion {
+		t.Fatalf("schema %q, want %q", rec.Schema, BenchSchemaVersion)
+	}
+	if rec.Config.Clients != 1000 || rec.Config.PerClient != 2 || rec.Config.MaxBatch != 32 {
+		t.Fatalf("config not preserved: %+v", rec.Config)
+	}
+	if rec.Result.Throughput != res.Throughput || rec.Result.P99ms != res.P99ms {
+		t.Fatalf("result not preserved: %+v", rec.Result)
+	}
+	if rec.Host.NumCPU <= 0 {
+		t.Fatalf("host fingerprint missing: %+v", rec.Host)
+	}
+}

@@ -1,0 +1,179 @@
+package serve
+
+// End-to-end shutdown test over a real listener: SIGTERM lands while
+// a micro-batch is still open (requests admitted, window not yet
+// expired) and a defect-eval is mid-sweep. The contract: every
+// admitted request completes with 200, Serve returns cleanly, the
+// drain is announced on the event stream, and the weight-restoration
+// invariant holds — after serving lesioned evals, both the source
+// network and the pooled clones are bitwise identical to the
+// pre-serve snapshot.
+//
+// Not parallel: it installs a process-wide SIGTERM handler and
+// signals its own process.
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"sync"
+	"sync/atomic"
+	"syscall"
+	"testing"
+	"time"
+
+	"github.com/ftpim/ftpim/internal/core"
+	"github.com/ftpim/ftpim/internal/obs"
+)
+
+func TestSIGTERMMidBatchDrainsCleanly(t *testing.T) {
+	var events bytes.Buffer
+	var evMu sync.Mutex
+	sink := obs.NewJSONL(&lockedWriter{w: &events, mu: &evMu})
+	sink.SetClock(nil)
+
+	src, test := fixture()
+	before := src.Snapshot()
+
+	s, err := New(src, test, Config{
+		// A wide-open batch: room for 8, window long enough that the
+		// signal reliably lands before the timer fires.
+		MaxBatch:    8,
+		BatchWindow: 2 * time.Second,
+		Eval:        core.DefectEval{Runs: 3, Batch: 16, Seed: 42, Workers: 1},
+		Sink:        sink,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := "http://" + ln.Addr().String()
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGTERM)
+	defer stop()
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- s.Serve(ctx, ln) }()
+
+	// Three infer requests open a batch; one defect-eval runs a
+	// lesion/restore sweep concurrently on a pooled clone.
+	img, _ := json.Marshal(InferRequest{Image: testImage(test)})
+	type result struct {
+		code int
+		body string
+		err  error
+	}
+	const inferClients = 3
+	results := make([]result, inferClients+1)
+	var wg sync.WaitGroup
+	post := func(i int, path string, body []byte) {
+		defer wg.Done()
+		resp, err := http.Post(base+path, "application/json", bytes.NewReader(body))
+		if err != nil {
+			results[i].err = err
+			return
+		}
+		defer resp.Body.Close()
+		b, _ := io.ReadAll(resp.Body)
+		results[i] = result{code: resp.StatusCode, body: string(b)}
+	}
+	for i := 0; i < inferClients; i++ {
+		wg.Add(1)
+		go post(i, "/v1/infer", img)
+	}
+	var evalDone atomic.Bool
+	wg.Add(1)
+	go func() {
+		defer evalDone.Store(true)
+		post(inferClients, "/v1/defect-eval", []byte(`{"rates":[0,0.05,0.1],"runs":40}`))
+	}()
+
+	// Wait until every infer request has been admitted into the open
+	// batch and the defect-eval holds its admission token (or already
+	// finished on a fast machine), then deliver SIGTERM mid-window.
+	waitFor(t, func() bool {
+		return s.accepted.Load() == inferClients &&
+			(len(s.evals) == 1 || evalDone.Load())
+	})
+	if s.batchSeq.Load() != 0 {
+		t.Fatal("batch dispatched before the signal; widen BatchWindow")
+	}
+	if err := syscall.Kill(os.Getpid(), syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+
+	select {
+	case err := <-serveErr:
+		if err != nil {
+			t.Fatalf("Serve returned %v after SIGTERM, want nil", err)
+		}
+	case <-time.After(20 * time.Second):
+		t.Fatal("Serve did not return after SIGTERM")
+	}
+	wg.Wait()
+
+	// Every request admitted before the signal completed successfully.
+	for i, r := range results {
+		if r.err != nil {
+			t.Fatalf("client %d: %v", i, r.err)
+		}
+		if r.code != http.StatusOK {
+			t.Fatalf("client %d: HTTP %d after drain, want 200: %s", i, r.code, r.body)
+		}
+	}
+	// The admitted requests were coalesced into at most two flushed
+	// batches (the open batch plus at most one leftover flush), never
+	// dropped or re-queued past the drain.
+	var inf InferResponse
+	if err := json.Unmarshal([]byte(results[0].body), &inf); err != nil {
+		t.Fatal(err)
+	}
+	if inf.Batch < 1 || inf.Batch > inferClients {
+		t.Fatalf("drained batch size %d, want 1..%d", inf.Batch, inferClients)
+	}
+
+	// The listener is closed: new connections are refused.
+	if _, err := net.DialTimeout("tcp", ln.Addr().String(), 200*time.Millisecond); err == nil {
+		t.Fatal("listener still accepting connections after drain")
+	}
+
+	// The drain was announced exactly once on the event stream.
+	evMu.Lock()
+	stream := events.String()
+	evMu.Unlock()
+	if got := bytes.Count([]byte(stream), []byte(`"kind":"serve.drain"`)); got != 1 {
+		t.Fatalf("serve.drain emitted %d times, want 1; stream:\n%s", got, stream)
+	}
+
+	// Weight-restoration invariants: the source network was never
+	// touched, and pooled clones — which ran both inference and
+	// lesioned defect sweeps — restored bitwise.
+	if !bytes.Equal(src.Snapshot(), before) {
+		t.Fatal("source network weights changed while serving")
+	}
+	e := s.pool.Get()
+	defer s.pool.Put(e)
+	if !bytes.Equal(e.Net.Snapshot(), before) {
+		t.Fatal("pooled clone weights diverged from source after lesioned sweeps")
+	}
+}
+
+// lockedWriter serializes sink writes against the test's final read.
+type lockedWriter struct {
+	w  io.Writer
+	mu *sync.Mutex
+}
+
+func (lw *lockedWriter) Write(p []byte) (int, error) {
+	lw.mu.Lock()
+	defer lw.mu.Unlock()
+	return lw.w.Write(p)
+}

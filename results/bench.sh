@@ -18,3 +18,9 @@ go test ./internal/tensor/ -run '^$' -bench 'ConvFwd|ConvBwd' \
 
 echo "== sharded paths (BENCH_parallel.json) =="
 go test . -run '^$' -bench 'Parallel' -benchtime 5x -timeout 30m
+
+echo "== serving layer (BENCH_serve.json) =="
+go build -o ftpim ./cmd/ftpim
+./ftpim serve -preset smoke -dataset c10 -loadtest \
+  -lt-clients 1000 -lt-requests 4 -lt-eval-every 4 \
+  -bench-out results/BENCH_serve.json
