@@ -54,3 +54,48 @@ func TestWarmDefectRunAllocs(t *testing.T) {
 		t.Fatalf("warm defect-eval run allocates %.1f/op, budget is 2", avg)
 	}
 }
+
+// TestWarmScenarioRunAllocs extends the 2-allocation budget to every
+// registered fault scenario: the scenario abstraction must not cost
+// the hot path anything. Persistent scenarios run the InjectRun loop;
+// transient ones run the per-step loop (one lesion per forward pass,
+// the warm inner loop of transient evaluation).
+func TestWarmScenarioRunAllocs(t *testing.T) {
+	prev := tensor.SetWorkers(1)
+	defer tensor.SetWorkers(prev)
+
+	cfg := data.SynthConfig{
+		Classes: 5, TrainPer: 4, TestPer: 8,
+		Channels: 3, Size: 8, Basis: 10, CoefNoise: 0.1,
+		NoiseStd: 0.3, Seed: 11,
+	}
+	_, test := data.Generate(cfg)
+	net := models.BuildSimpleCNN(models.SimpleCNNConfig{InChannels: 3, Width: 4, Classes: 5, Seed: 2})
+
+	for _, spec := range fault.Names() {
+		t.Run(spec, func(t *testing.T) {
+			sc := fault.MustParse(spec)
+			inj := sc.NewInjector(core.WeightTensors(net))
+			const psa = 0.05
+			run, step := 0, 0
+			iter := func() {
+				var lesion *fault.Lesion
+				if sc.Transient() {
+					lesion = inj.InjectStep(9, 0, step, psa)
+					step++
+				} else {
+					lesion = inj.InjectRun(9, run, psa)
+					run++
+				}
+				metrics.Evaluate(net, test, 64)
+				lesion.Undo()
+			}
+			for i := 0; i < 20; i++ {
+				iter()
+			}
+			if avg := testing.AllocsPerRun(30, iter); avg > 2 {
+				t.Fatalf("warm %s run allocates %.1f/op, budget is 2", spec, avg)
+			}
+		})
+	}
+}

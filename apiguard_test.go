@@ -1,0 +1,94 @@
+package ftpim
+
+// API-convention guard: the fault.Scenario registry is the one way to
+// select a fault distribution, and fault.NewModel the one way to build
+// a custom SA0/SA1 mix. Constructing fault.Model by composite literal
+// outside internal/fault bypasses both (and the Validate conventions
+// they enforce), so this test walks the whole module with go/parser
+// and fails on any such literal. The deprecation shim inside
+// internal/fault itself is exempt.
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+const faultImportPath = "github.com/ftpim/ftpim/internal/fault"
+
+func TestNoFaultModelLiteralsOutsideFaultPackage(t *testing.T) {
+	fset := token.NewFileSet()
+	var violations []string
+
+	err := filepath.WalkDir(".", func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			switch d.Name() {
+			case ".git", ".cache", "testdata", "results":
+				return filepath.SkipDir
+			}
+			if filepath.ToSlash(path) == "internal/fault" {
+				return filepath.SkipDir // the shim's home package is exempt
+			}
+			return nil
+		}
+		if !strings.HasSuffix(path, ".go") {
+			return nil
+		}
+		f, perr := parser.ParseFile(fset, path, nil, 0)
+		if perr != nil {
+			return perr
+		}
+
+		// Resolve what identifier (if any) names the fault package in
+		// this file, honoring renamed imports.
+		alias := ""
+		for _, imp := range f.Imports {
+			p, _ := strconv.Unquote(imp.Path.Value)
+			if p != faultImportPath {
+				continue
+			}
+			alias = "fault"
+			if imp.Name != nil {
+				alias = imp.Name.Name
+			}
+		}
+		if alias == "" || alias == "_" {
+			return nil
+		}
+
+		ast.Inspect(f, func(n ast.Node) bool {
+			lit, ok := n.(*ast.CompositeLit)
+			if !ok {
+				return true
+			}
+			sel, ok := lit.Type.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			pkg, ok := sel.X.(*ast.Ident)
+			if !ok || pkg.Name != alias || sel.Sel.Name != "Model" {
+				return true
+			}
+			violations = append(violations,
+				fset.Position(lit.Pos()).String())
+			return true
+		})
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(violations) > 0 {
+		t.Fatalf("fault.Model composite literals outside internal/fault "+
+			"(use fault.NewModel, a scenario constructor, or fault.Parse):\n  %s",
+			strings.Join(violations, "\n  "))
+	}
+}

@@ -7,6 +7,7 @@
 //	ftpim table2 [-preset repro] [-cache DIR]
 //	ftpim fig2   [-preset repro] [-dataset c10|c100|both] [-cache DIR] [-csv]
 //	ftpim ablation [-preset repro] [-which ladder|resample|crossbar] [-cache DIR]
+//	ftpim scenarios [-preset repro] [-dataset c10] [-csv] [SPEC ...]
 //	ftpim device draw|eval|retrain [-psa RATE] [-profile FILE] [-dataset c10]
 //	ftpim all    [-preset repro] [-cache DIR] [-out DIR]
 //	ftpim serve  [-addr HOST:PORT] [-max-batch N] [-batch-window D] [-queue N]
@@ -16,6 +17,15 @@
 // The default preset ("repro") is the scaled-down reproduction
 // described in DESIGN.md; "paper" runs the full-scale protocol (slow);
 // "quick" is a seconds-scale run and "smoke" a sub-second one.
+//
+// -fault SPEC selects the stuck-at fault scenario every command
+// injects from — "chen" (the paper's i.i.d. ratios, the default),
+// "transient[:r0=..,r1=..]" (fresh lesion per forward pass),
+// "cluster[:len=..,tile=..,r0=..,r1=..]" (row-burst defects), or
+// "drop" (SA0-only transient, the drop-connect distribution). Specs
+// are parsed by fault.Parse; 'ftpim scenarios' cross-evaluates the FT
+// schemes under every built-in scenario (or the specs given as
+// positional arguments).
 //
 // -workers N parallelizes the defect-evaluation Monte-Carlo loop and
 // the large tensor kernels over N goroutines (default: all cores).
@@ -103,6 +113,8 @@ func run() int {
 	psa := fs.Float64("psa", 0.01, "device: per-cell stuck-at rate when drawing a profile")
 	profile := fs.String("profile", "device.profile", "device: profile file path")
 	outDir := fs.String("out", "results", "output directory for 'all'")
+	faultSpec := fs.String("fault", "",
+		"fault scenario spec (name[:key=value,...], e.g. chen, transient, cluster:len=8, drop); empty = chen defaults")
 	verbose := fs.Bool("v", true, "log training progress")
 	events := fs.String("events", "", "write schema-versioned JSONL run events to FILE")
 	workers := fs.Int("workers", runtime.NumCPU(),
@@ -161,6 +173,13 @@ func run() int {
 	if *loadtest && (*ltClients < 1 || *ltRequests < 1) {
 		return usageErr("-lt-clients and -lt-requests must be >= 1")
 	}
+	var scenario fault.Scenario
+	if *faultSpec != "" {
+		var perr error
+		if scenario, perr = fault.Parse(*faultSpec); perr != nil {
+			return usageErr("-fault: %v", perr)
+		}
+	}
 
 	var sinks []obs.Sink
 	if *verbose {
@@ -189,6 +208,7 @@ func run() int {
 	tensor.SetWorkers(*workers)
 	env := experiments.NewEnv(*preset, *cache, sink)
 	env.Scale.Workers = *workers
+	env.Scenario = scenario
 	if *checkpoint != "" {
 		env.Ckpt = ckpt.NewStore(*checkpoint, ckpt.DefaultKeep, *resume, sink)
 		env.CkptEvery = *ckptEvery
@@ -233,6 +253,8 @@ func run() int {
 		}
 	case "ablation":
 		err = runAblation(ctx, env, *which)
+	case "scenarios":
+		err = runScenarios(ctx, env, *dataset, *csv, fs.Args())
 	case "device":
 		err = runDevice(ctx, env, verb, *dataset, *psa, *profile)
 	case "all":
@@ -305,6 +327,21 @@ func runAblation(ctx context.Context, env *experiments.Env, which string) error 
 	return nil
 }
 
+// runScenarios cross-evaluates the FT schemes under each fault
+// scenario (positional args as specs; none = every built-in) and
+// renders the stability table.
+func runScenarios(ctx context.Context, env *experiments.Env, dataset string, csv bool, specs []string) error {
+	if dataset == "both" {
+		dataset = "c10"
+	}
+	res, err := experiments.ScenarioSweep(ctx, env, dataset, specs)
+	if err != nil {
+		return err
+	}
+	emitTable(os.Stdout, res.Table(), csv)
+	return nil
+}
+
 // runDevice implements the per-device fleet workflow: draw a defect
 // profile for one manufactured unit (as a march-test station would),
 // archive it, and evaluate or fault-aware-retrain the golden model
@@ -324,8 +361,15 @@ func runDevice(ctx context.Context, env *experiments.Env, verb, dataset string, 
 	weights := core.WeightTensors(net)
 	switch verb {
 	case "draw":
+		// The profile is drawn from the selected fault scenario (-fault);
+		// the default chen scenario reproduces the historical
+		// DrawDeviceMap(ChenModel()) stream byte for byte.
+		sc := env.Scenario
+		if sc == nil {
+			sc = fault.Default()
+		}
 		rng := tensor.NewRNG(env.Scale.Seed).Stream("device-profile")
-		dm := fault.DrawDeviceMap(rng, fault.ChenModel(), weights, psa)
+		dm := sc.DrawMap(rng, weights, psa)
 		f, err := os.Create(profile)
 		if err != nil {
 			return fmt.Errorf("create %s: %v", profile, err)
@@ -443,6 +487,20 @@ func runAll(ctx context.Context, env *experiments.Env, outDir string) error {
 		return err
 	}
 
+	sres, err := experiments.ScenarioSweep(ctx, env, "c10", nil)
+	if err != nil {
+		return err
+	}
+	var stxt, scsv strings.Builder
+	sres.Table().Render(&stxt)
+	sres.Table().RenderCSV(&scsv)
+	if err := write("stability-scenarios.txt", stxt.String()); err != nil {
+		return err
+	}
+	if err := write("stability-scenarios.csv", scsv.String()); err != nil {
+		return err
+	}
+
 	var ab strings.Builder
 	rows, err := experiments.AblationLadder(ctx, env, "c10", 0.1, 4)
 	if err != nil {
@@ -541,6 +599,8 @@ commands:
   table2    regenerate Table II (Stability Score, dense vs ADMM-pruned)
   fig2      regenerate Figure 2 (pruned-model fragility, no FT training)
   ablation  run an ablation study (-which ladder|resample|crossbar)
+  scenarios cross-evaluate FT schemes under each fault scenario
+            (positional SPECs, default: chen transient cluster drop)
   device    per-device workflow: draw | eval | retrain (-psa, -profile)
   all       regenerate everything into -out DIR
   serve     HTTP inference + defect-eval service with dynamic
@@ -551,6 +611,7 @@ commands:
 common flags: -preset smoke|quick|repro|paper   -cache DIR   -dataset c10|c100|both
               -workers N   -events FILE (JSONL run events)   -v=false (quiet)
               -checkpoint DIR   -ckpt-every N   -resume
+              -fault SPEC (fault scenario: chen, transient, cluster:len=8, drop, ...)
 
 Ctrl-C cancels at the next batch / Monte-Carlo run boundary (exit 130);
 partially trained models are never cached. With -checkpoint DIR every

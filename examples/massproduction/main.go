@@ -5,7 +5,14 @@
 //   - baseline: ship the pretrained model as-is;
 //   - device-specific fault-aware retraining [5]: retrain the model
 //     separately for every single device (accurate but O(fleet) cost);
-//   - stochastic FT training (this paper): retrain once, ship to all.
+//   - stochastic FT training (this paper): retrain once, ship to all;
+//   - drop-connect FT: retrain once with random SA0 weight dropping,
+//     assuming nothing about the deployed fault distribution.
+//
+// The fleet is manufactured twice: once with the paper's i.i.d.
+// Chen-ratio defects and once with spatially-clustered row-burst
+// defects (the fault.Clustered scenario), showing how each strategy
+// holds up when the defect distribution shifts.
 //
 // Run with: go run ./examples/massproduction
 package main
@@ -60,43 +67,68 @@ func main() {
 	ftCfg.LR = 0.03
 	ftCfg.Epochs = 20
 	must(core.OneShotFT(ctx, ft, train, ftCfg, 0.1))
-	fmt.Printf("FT model clean accuracy:     %.2f%%\n\n", core.EvalClean(ft, test, 128)*100)
+	fmt.Printf("FT model clean accuracy:     %.2f%%\n", core.EvalClean(ft, test, 128)*100)
 
-	// The fleet: every device gets its own fixed defect map.
-	rng := tensor.NewRNG(777)
-	var accBase, accFT, accDev []float64
-	retrainEpochs := 0
-	for d := 0; d < fleetSize; d++ {
-		dm := fault.DrawDeviceMap(rng.StreamN("device", d), fault.ChenModel(),
-			core.WeightTensors(golden), psaDevice)
+	// A drop-connect FT model: no fault model assumed at training time,
+	// just random SA0 weight dropping per mini-batch.
+	dc := build()
+	mustRestore(dc, golden)
+	dcCfg := ftCfg
+	must(core.DropConnectFT(ctx, dc, train, dcCfg, 0.1))
+	fmt.Printf("drop-connect model clean:    %.2f%%\n\n", core.EvalClean(dc, test, 128)*100)
 
-		accBase = append(accBase, must(core.EvalOnDevice(ctx, golden, test, dm, 128))*100)
-		accFT = append(accFT, must(core.EvalOnDevice(ctx, ft, test, dm, 128))*100)
+	// Two manufacturing lines: one with the paper's i.i.d. Chen-ratio
+	// defects, one with spatially-clustered (row-burst) defects — the
+	// signature of wordline driver failures.
+	lines := []struct {
+		name     string
+		scenario fault.Scenario
+	}{
+		{"i.i.d. chen defects", fault.Chen()},
+		{"clustered defects", fault.NewClustered(0, 0, fault.ChenModel())},
+	}
+	weights := core.WeightTensors(golden)
+	for _, line := range lines {
+		// The fleet: every device gets its own fixed defect map.
+		rng := tensor.NewRNG(777)
+		var accBase, accFT, accDC, accDev []float64
+		retrainEpochs := 0
+		for d := 0; d < fleetSize; d++ {
+			dm := line.scenario.DrawMap(rng.StreamN("device", d), weights, psaDevice)
 
-		// Device-specific retraining: a fresh copy per device.
-		dev := build()
-		mustRestore(dev, golden)
-		devCfg := trainCfg
-		devCfg.LR = 0.04
-		devCfg.Epochs = 6
-		must(core.FaultAwareRetrain(ctx, dev, train, devCfg, dm))
-		retrainEpochs += devCfg.Epochs
-		accDev = append(accDev, must(core.EvalOnDevice(ctx, dev, test, dm, 128))*100)
+			accBase = append(accBase, must(core.EvalOnDevice(ctx, golden, test, dm, 128))*100)
+			accFT = append(accFT, must(core.EvalOnDevice(ctx, ft, test, dm, 128))*100)
+			accDC = append(accDC, must(core.EvalOnDevice(ctx, dc, test, dm, 128))*100)
+
+			// Device-specific retraining: a fresh copy per device.
+			dev := build()
+			mustRestore(dev, golden)
+			devCfg := trainCfg
+			devCfg.LR = 0.04
+			devCfg.Epochs = 6
+			must(core.FaultAwareRetrain(ctx, dev, train, devCfg, dm))
+			retrainEpochs += devCfg.Epochs
+			accDev = append(accDev, must(core.EvalOnDevice(ctx, dev, test, dm, 128))*100)
+		}
+
+		report := func(name string, accs []float64, cost string) {
+			s := metrics.Summarize(accs)
+			fmt.Printf("%-28s mean %6.2f%%  min %6.2f%%  max %6.2f%%  (training cost: %s)\n",
+				name, s.Mean, s.Min, s.Max, cost)
+		}
+		fmt.Printf("fleet of %d devices, %s (%s), per-cell rate %g:\n",
+			fleetSize, line.name, line.scenario.Spec(), psaDevice)
+		report("baseline (ship as-is)", accBase, "0")
+		report("device-specific retrain [5]", accDev, fmt.Sprintf("%d epochs (%d per device)", retrainEpochs, retrainEpochs/fleetSize))
+		report("stochastic FT (this paper)", accFT, "20 epochs, once")
+		report("drop-connect FT", accDC, "20 epochs, once")
+		fmt.Println()
 	}
 
-	report := func(name string, accs []float64, cost string) {
-		s := metrics.Summarize(accs)
-		fmt.Printf("%-28s mean %6.2f%%  min %6.2f%%  max %6.2f%%  (training cost: %s)\n",
-			name, s.Mean, s.Min, s.Max, cost)
-	}
-	fmt.Printf("fleet of %d devices, per-cell stuck-at rate %g:\n", fleetSize, psaDevice)
-	report("baseline (ship as-is)", accBase, "0")
-	report("device-specific retrain [5]", accDev, fmt.Sprintf("%d epochs (%d per device)", retrainEpochs, retrainEpochs/fleetSize))
-	report("stochastic FT (this paper)", accFT, "20 epochs, once")
-
-	fmt.Println("\nDevice-specific retraining is the accuracy ceiling but costs a")
+	fmt.Println("Device-specific retraining is the accuracy ceiling but costs a")
 	fmt.Println("training run per manufactured unit; stochastic FT training closes")
-	fmt.Println("much of the gap to it at a fleet-independent, one-off cost.")
+	fmt.Println("much of the gap to it at a fleet-independent, one-off cost, and")
+	fmt.Println("drop-connect FT does so without assuming any fault model at all.")
 }
 
 func mustRestore(dst, src *nn.Network) {

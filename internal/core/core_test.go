@@ -501,5 +501,5 @@ func TestHalfZeroFaultModelPanics(t *testing.T) {
 			t.Fatal("negative-ratio model must panic in Normalize")
 		}
 	}()
-	DefectEval{Model: fault.Model{Ratio0: -1, Ratio1: 2}}.Normalize()
+	DefectEval{Model: fault.NewModel(-1, 2)}.Normalize()
 }

@@ -32,6 +32,13 @@ type DefectEval struct {
 	Seed    uint64
 	Workers int // 0 = all cores, 1 = serial reference path
 
+	// Scenario selects the fault distribution. Nil resolves to the
+	// persistent stuck-at scenario over Model — i.e. fault.Default()
+	// when Model is also unset — so legacy configurations behave
+	// byte-identically. When both are set, Scenario wins and Model is
+	// ignored.
+	Scenario fault.Scenario
+
 	// Sink receives one eval.run event per Monte-Carlo run plus a
 	// timing event per EvalDefect call (nil → obs.Null). With Workers
 	// > 1 the eval.run events arrive from worker goroutines in
@@ -47,6 +54,8 @@ type DefectEval struct {
 //   - Batch <= 0 → 64
 //   - Model zero value → fault.ChenModel() (an explicitly set but
 //     degenerate model panics loudly instead of being remapped)
+//   - Scenario nil → the stuck-at scenario over the resolved Model
+//     (an explicitly set but invalid scenario panics, matching Model)
 //   - Workers <= 0 → runtime.NumCPU()
 //   - Sink nil → obs.Null
 //
@@ -60,6 +69,7 @@ func (d DefectEval) Normalize() DefectEval {
 		d.Batch = 64
 	}
 	d.Model = d.model()
+	d.Scenario = d.scenario()
 	if d.Workers <= 0 {
 		d.Workers = runtime.NumCPU()
 	}
@@ -81,6 +91,20 @@ func (d DefectEval) model() fault.Model {
 	return d.Model
 }
 
+// scenario resolves the effective fault scenario: nil means "unset"
+// and yields the persistent stuck-at scenario over the resolved Model
+// (fault.Default() when Model is unset too); an explicitly set
+// scenario is validated so an unusable one fails loudly here.
+func (d DefectEval) scenario() fault.Scenario {
+	if d.Scenario == nil {
+		return fault.StuckAt(d.model())
+	}
+	if err := d.Scenario.Validate(); err != nil {
+		panic("core: invalid DefectEval.Scenario: " + err.Error())
+	}
+	return d.Scenario
+}
+
 // EvalClean returns the fault-free test accuracy.
 func EvalClean(net *nn.Network, ds *data.Dataset, batch int) float64 {
 	return metrics.Evaluate(net, ds, batch)
@@ -91,12 +115,26 @@ func EvalClean(net *nn.Network, ds *data.Dataset, batch int) float64 {
 // Net may be mutated freely (forward passes, lesions) as long as every
 // lesion is undone before the entry goes back to its pool.
 type CloneEntry struct {
-	Net *nn.Network
-	inj *fault.Injector
+	Net  *nn.Network
+	inj  fault.Injector
+	spec string // scenario spec inj was built for
 }
 
-// Injector returns the entry's injector, bound to Net's weights.
-func (e *CloneEntry) Injector() *fault.Injector { return e.inj }
+// Injector returns the entry's current injector, bound to Net's
+// weights (nil until InjectorFor has run).
+func (e *CloneEntry) Injector() fault.Injector { return e.inj }
+
+// InjectorFor returns an injector of scenario sc bound to Net's
+// weights, rebuilding it only when the scenario changed since the
+// last call — a pooled entry evaluating the same scenario keeps its
+// injector (and the injector's recycled lesion) across checkouts.
+func (e *CloneEntry) InjectorFor(sc fault.Scenario) fault.Injector {
+	if spec := sc.Spec(); e.inj == nil || e.spec != spec {
+		e.inj = sc.NewInjector(WeightTensors(e.Net))
+		e.spec = spec
+	}
+	return e.inj
+}
 
 // ClonePool hands out reusable deep clones of a source network. A
 // clone is safe to reuse between checkouts because every lesion is
@@ -114,16 +152,17 @@ func (e *CloneEntry) Injector() *fault.Injector { return e.inj }
 type ClonePool struct {
 	mu      sync.Mutex
 	src     *nn.Network
-	model   fault.Model
+	sc      fault.Scenario
 	entries []*CloneEntry
 }
 
-// NewClonePool creates a pool of clones of src. The zero-value model
-// resolves to fault.ChenModel(); an explicitly set degenerate model
-// panics, matching DefectEval.Normalize.
-func NewClonePool(src *nn.Network, model fault.Model) *ClonePool {
-	model = DefectEval{Model: model}.model()
-	return &ClonePool{src: src, model: model}
+// NewClonePool creates a pool of clones of src whose injectors default
+// to scenario sc. Nil resolves to fault.Default(); an explicitly set
+// invalid scenario panics, matching DefectEval.Normalize. Entries can
+// still be re-bound to other scenarios via CloneEntry.InjectorFor.
+func NewClonePool(src *nn.Network, sc fault.Scenario) *ClonePool {
+	sc = (DefectEval{Scenario: sc}).scenario()
+	return &ClonePool{src: src, sc: sc}
 }
 
 // evalCloneCreates counts clone constructions for the pool-reuse test.
@@ -142,7 +181,9 @@ func (p *ClonePool) Get() *CloneEntry {
 	p.mu.Unlock()
 	evalCloneCreates.Add(1)
 	clone := p.src.Clone()
-	return &CloneEntry{Net: clone, inj: fault.NewInjector(p.model, WeightTensors(clone))}
+	e := &CloneEntry{Net: clone}
+	e.InjectorFor(p.sc)
+	return e
 }
 
 // Put returns an entry for reuse. The caller must have undone every
@@ -152,6 +193,49 @@ func (p *ClonePool) Put(e *CloneEntry) {
 	p.mu.Lock()
 	p.entries = append(p.entries, e)
 	p.mu.Unlock()
+}
+
+// stepHook redraws a transient-scenario lesion before every evaluation
+// batch and undoes it afterwards: batch `step` of run `run` always
+// sees the lesion of position (seed, run, step), regardless of worker
+// count or scheduling. One hook is allocated per eval call (or per
+// worker) outside the warm loop, keeping the steady-state run path
+// within its allocation budget.
+type stepHook struct {
+	inj    fault.Injector
+	seed   uint64
+	run    int
+	psa    float64
+	lesion *fault.Lesion
+}
+
+// newStepHook returns the per-batch hook for a transient scenario, or
+// nil for persistent ones.
+func newStepHook(sc fault.Scenario, inj fault.Injector, seed uint64, psa float64) *stepHook {
+	if !sc.Transient() {
+		return nil
+	}
+	return &stepHook{inj: inj, seed: seed, psa: psa}
+}
+
+func (h *stepHook) BeforeBatch(step int) {
+	h.lesion = h.inj.InjectStep(h.seed, h.run, step, h.psa)
+}
+
+func (h *stepHook) AfterBatch(int) { h.lesion.Undo() }
+
+// evalRun executes one Monte-Carlo run: a persistent scenario injects
+// once and holds the lesion across the whole pass; a transient one
+// (hook != nil) redraws per batch through the hook.
+func evalRun(net *nn.Network, ds *data.Dataset, cfg DefectEval, inj fault.Injector, hook *stepHook, run int, psa float64) float64 {
+	if hook != nil {
+		hook.run = run
+		return metrics.EvaluateHooked(net, ds, cfg.Batch, hook)
+	}
+	lesion := inj.InjectRun(cfg.Seed, run, psa)
+	acc := metrics.Evaluate(net, ds, cfg.Batch)
+	lesion.Undo()
+	return acc
 }
 
 // EvalDefect measures the model's accuracy under stuck-at faults at
@@ -192,15 +276,14 @@ func evalDefect(ctx context.Context, net *nn.Network, ds *data.Dataset, psa floa
 	}
 	// Serial reference path: inject into the live network, evaluate,
 	// undo. The parallel path must match this bit for bit.
-	inj := fault.NewInjector(cfg.Model, WeightTensors(net))
+	inj := cfg.Scenario.NewInjector(WeightTensors(net))
+	hook := newStepHook(cfg.Scenario, inj, cfg.Seed, psa)
 	accs := make([]float64, 0, cfg.Runs)
 	for run := 0; run < cfg.Runs; run++ {
 		if err := ctx.Err(); err != nil {
 			return metrics.Summary{}, err
 		}
-		lesion := inj.InjectRun(cfg.Seed, run, psa)
-		acc := metrics.Evaluate(net, ds, cfg.Batch)
-		lesion.Undo()
+		acc := evalRun(net, ds, cfg, inj, hook, run, psa)
 		accs = append(accs, acc)
 		if sink.Enabled() {
 			sink.Emit(obs.Event{Kind: obs.KindEvalRun, Run: run + 1, Rate: psa, Acc: acc})
@@ -243,16 +326,15 @@ func evalDefectParallel(ctx context.Context, net *nn.Network, ds *data.Dataset, 
 				defer pool.Put(e)
 			} else {
 				evalCloneCreates.Add(1)
-				clone := net.Clone()
-				e = &CloneEntry{Net: clone, inj: fault.NewInjector(cfg.Model, WeightTensors(clone))}
+				e = &CloneEntry{Net: net.Clone()}
 			}
+			inj := e.InjectorFor(cfg.Scenario)
+			hook := newStepHook(cfg.Scenario, inj, cfg.Seed, psa)
 			for run := range jobs {
 				if ctx.Err() != nil {
 					continue // drain without evaluating
 				}
-				lesion := e.inj.InjectRun(cfg.Seed, run, psa)
-				acc := metrics.Evaluate(e.Net, ds, cfg.Batch)
-				lesion.Undo()
+				acc := evalRun(e.Net, ds, cfg, inj, hook, run, psa)
 				accs[run] = acc
 				if sink.Enabled() {
 					sink.Emit(obs.Event{Kind: obs.KindEvalRun, Run: run + 1, Rate: psa, Acc: acc})
@@ -295,7 +377,7 @@ func EvalDefectSweep(ctx context.Context, net *nn.Network, ds *data.Dataset, rat
 	sink := cfg.Sink
 	var pool *ClonePool
 	if cfg.Workers > 1 && cfg.Runs > 1 {
-		pool = NewClonePool(net, cfg.Model)
+		pool = NewClonePool(net, cfg.Scenario)
 	}
 	out := make([]metrics.Summary, 0, len(rates))
 	for i, r := range rates {

@@ -5,6 +5,7 @@ import (
 	"sort"
 
 	"github.com/ftpim/ftpim/internal/data"
+	"github.com/ftpim/ftpim/internal/fault"
 	"github.com/ftpim/ftpim/internal/nn"
 	"github.com/ftpim/ftpim/internal/obs"
 )
@@ -48,6 +49,36 @@ func Ladder(target float64, maxRungs int) []float64 {
 // exactly what Train left behind.
 func OneShotFT(ctx context.Context, net *nn.Network, ds *data.Dataset, cfg Config, target float64) (*Result, error) {
 	cfg.FaultRate = target
+	res, err := Train(ctx, net, ds, cfg)
+	if err != nil {
+		return res, err
+	}
+	if err := RecalibrateBN(ctx, net, ds, cfg.Batch); err != nil {
+		return res, err
+	}
+	return res, nil
+}
+
+// DropConnectFT runs drop-connect fault-tolerant retraining (arXiv
+// 2404.15498): every mini-batch a fresh SA0-only transient lesion
+// zeroes each weight independently with probability drop, the batch
+// runs forward and backward through the dropped weights, and the
+// gradient applies straight-through to the clean weights — Algorithm
+// 1's injection hook re-pointed at the "drop" scenario. Unlike
+// one-shot FT at a fixed stuck-at mix, the regularization is
+// position-agnostic, hardening the network against whatever defect
+// pattern a device ships with. BN statistics are recalibrated on clean
+// weights afterwards; on cancellation recalibration is skipped and the
+// partial Result plus ctx's error are returned.
+//
+// Any Scenario/FaultModel/PerBatch already in cfg is overridden; the
+// rest of the configuration (epochs, LR schedule, ADMM, checkpoints)
+// composes as with the other FT schemes.
+func DropConnectFT(ctx context.Context, net *nn.Network, ds *data.Dataset, cfg Config, drop float64) (*Result, error) {
+	cfg.Scenario = fault.DropConnect()
+	cfg.FaultModel = fault.NewModel(0, 0)
+	cfg.PerBatch = true
+	cfg.FaultRate = drop
 	res, err := Train(ctx, net, ds, cfg)
 	if err != nil {
 		return res, err

@@ -1,0 +1,193 @@
+package core_test
+
+// Determinism-equivalence and behavior tests for the pluggable fault
+// scenarios: every registered scenario must evaluate bit-identically
+// at any worker count and across clone-pool reuse, and drop-connect FT
+// must improve defect robustness like the other FT schemes.
+
+import (
+	"testing"
+
+	"github.com/ftpim/ftpim/internal/core"
+	"github.com/ftpim/ftpim/internal/data"
+	"github.com/ftpim/ftpim/internal/fault"
+	"github.com/ftpim/ftpim/internal/models"
+	"github.com/ftpim/ftpim/internal/nn"
+)
+
+// smallNet builds the small CNN the drop-connect test trains.
+func smallNet(classes, channels int) *nn.Network {
+	return models.BuildSimpleCNN(models.SimpleCNNConfig{
+		InChannels: channels, Width: 4, Classes: classes, Seed: 23,
+	})
+}
+
+// TestScenarioEvalDeterminism extends the worker-count equivalence
+// suite to every registered fault scenario: serial, 2-worker, and
+// 4-worker evaluation must produce bitwise-equal summaries.
+func TestScenarioEvalDeterminism(t *testing.T) {
+	net, test := presetFixture(t, "smoke")
+	for _, spec := range fault.Names() {
+		t.Run(spec, func(t *testing.T) {
+			base := core.DefectEval{
+				Runs: 4, Batch: 32, Seed: 42, Workers: 1,
+				Scenario: fault.MustParse(spec),
+			}
+			for _, psa := range []float64{0.01, 0.1} {
+				want := evalD(t, net, test, psa, base)
+				for _, w := range []int{2, 4} {
+					cfg := base
+					cfg.Workers = w
+					got := evalD(t, net, test, psa, cfg)
+					if got != want {
+						t.Fatalf("psa=%g workers=%d: %+v != serial %+v", psa, w, got, want)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestScenarioSweepCloneReuse pins that a clone pool checked out for
+// one scenario is safe to reuse for another and back: interleaved
+// sweeps must reproduce each other bit for bit, and the live network
+// must be untouched throughout.
+func TestScenarioSweepCloneReuse(t *testing.T) {
+	net, test := presetFixture(t, "smoke")
+	before := net.Snapshot()
+	rates := []float64{0.02, 0.1}
+
+	sweep := func(spec string) []float64 {
+		cfg := core.DefectEval{
+			Runs: 3, Batch: 32, Seed: 7, Workers: 2,
+			Scenario: fault.MustParse(spec),
+		}
+		sums, err := core.EvalDefectSweep(ctxbg, net, test, rates, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var means []float64
+		for _, s := range sums {
+			means = append(means, s.Mean)
+		}
+		return means
+	}
+
+	chen1 := sweep("chen")
+	cluster1 := sweep("cluster")
+	transient1 := sweep("transient")
+	chen2 := sweep("chen")
+	cluster2 := sweep("cluster")
+	transient2 := sweep("transient")
+
+	pairs := [][2][]float64{{chen1, chen2}, {cluster1, cluster2}, {transient1, transient2}}
+	for i, p := range pairs {
+		for j := range p[0] {
+			if p[0][j] != p[1][j] {
+				t.Fatalf("pair %d rate %d: first pass %v, after pool reuse %v", i, j, p[0][j], p[1][j])
+			}
+		}
+	}
+	if err := net.Restore(before); err != nil {
+		t.Fatalf("network mutated by scenario sweeps: %v", err)
+	}
+
+	// Distinct scenarios must actually draw distinct fault patterns —
+	// otherwise the registry is silently collapsing to one model.
+	if chen1[1] == cluster1[1] && chen1[0] == cluster1[0] {
+		t.Fatal("chen and cluster sweeps are identical; scenario plumbing is inert")
+	}
+}
+
+// TestScenarioDefaultMatchesLegacyModel pins backward compatibility:
+// DefectEval with no Scenario must be bit-identical to the explicit
+// chen scenario and to the legacy Model field.
+func TestScenarioDefaultMatchesLegacyModel(t *testing.T) {
+	net, test := presetFixture(t, "smoke")
+	base := core.DefectEval{Runs: 4, Batch: 32, Seed: 11, Workers: 2}
+
+	legacy := evalD(t, net, test, 0.05, base)
+
+	withScenario := base
+	withScenario.Scenario = fault.MustParse("chen")
+	if got := evalD(t, net, test, 0.05, withScenario); got != legacy {
+		t.Fatalf("explicit chen scenario %+v != default path %+v", got, legacy)
+	}
+
+	withModel := base
+	withModel.Model = fault.ChenModel()
+	if got := evalD(t, net, test, 0.05, withModel); got != legacy {
+		t.Fatalf("legacy Model field %+v != default path %+v", got, legacy)
+	}
+}
+
+// TestTransientScenarioRedrawsPerBatch distinguishes transient from
+// persistent evaluation: with a transient scenario every batch sees a
+// different lesion, so a multi-batch eval must generally diverge from
+// the persistent scenario at the same coordinates (same seed, same
+// model mix).
+func TestTransientScenarioRedrawsPerBatch(t *testing.T) {
+	net, test := presetFixture(t, "smoke")
+	base := core.DefectEval{Runs: 3, Batch: 16, Seed: 5, Workers: 1}
+
+	persistent := base
+	persistent.Scenario = fault.MustParse("chen")
+	transient := base
+	transient.Scenario = fault.MustParse("transient")
+
+	accP := evalD(t, net, test, 0.15, persistent)
+	accT := evalD(t, net, test, 0.15, transient)
+	if accP == accT {
+		t.Fatalf("transient eval identical to persistent (%+v); per-step redraw is not happening", accP)
+	}
+}
+
+// TestConfigTransientScenarioForcesPerBatch pins the Normalize rule: a
+// transient training scenario implies per-batch resampling.
+func TestConfigTransientScenarioForcesPerBatch(t *testing.T) {
+	cfg := core.Config{
+		Epochs: 1, Batch: 8, LR: 0.1,
+		Scenario: fault.MustParse("transient"),
+	}.Normalize()
+	if !cfg.PerBatch {
+		t.Fatal("transient scenario did not force PerBatch")
+	}
+	if (core.Config{Epochs: 1, Batch: 8, LR: 0.1}).Normalize().PerBatch {
+		t.Fatal("default config must not force PerBatch")
+	}
+}
+
+// TestDropConnectFTImprovesDefectAccuracy is the paper-level claim for
+// the new FT scheme: drop-connect training (no fault model assumed)
+// must beat the baseline under stuck-at defects at a meaningful rate.
+func TestDropConnectFTImprovesDefectAccuracy(t *testing.T) {
+	cfg := data.SynthConfig{
+		Classes: 4, TrainPer: 40, TestPer: 25,
+		Channels: 2, Size: 8, Basis: 8, CoefNoise: 0.15,
+		NoiseStd: 0.3, Seed: 19,
+	}
+	train, test := data.Generate(cfg)
+	base := smallNet(4, 2)
+	tc := core.Config{Epochs: 6, Batch: 16, LR: 0.1, Momentum: 0.9, Seed: 3}
+	if _, err := core.Train(ctxbg, base, train, tc); err != nil {
+		t.Fatal(err)
+	}
+
+	dc := smallNet(4, 2)
+	if err := dc.Restore(base.Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	dcCfg := tc
+	dcCfg.Epochs = 8
+	dcCfg.LR = 0.05
+	if _, err := core.DropConnectFT(ctxbg, dc, train, dcCfg, 0.1); err != nil {
+		t.Fatal(err)
+	}
+
+	ev := core.DefectEval{Runs: 8, Batch: 64, Seed: 77, Workers: 2}
+	accBase := evalD(t, base, test, 0.1, ev)
+	accDC := evalD(t, dc, test, 0.1, ev)
+	if accDC.Mean <= accBase.Mean {
+		t.Fatalf("drop-connect FT did not help: %.4f <= baseline %.4f", accDC.Mean, accBase.Mean)
+	}
+}

@@ -55,6 +55,12 @@ type Config struct {
 	// disables fault injection (plain training).
 	FaultRate  float64
 	FaultModel fault.Model // zero value → fault.ChenModel()
+	// Scenario selects the training fault distribution. Nil resolves
+	// to the persistent stuck-at scenario over FaultModel, preserving
+	// legacy behavior bit for bit; when both are set, Scenario wins. A
+	// transient scenario forces PerBatch (its faults are momentary by
+	// definition).
+	Scenario fault.Scenario
 	// PerBatch resamples the fault pattern every mini-batch instead of
 	// every epoch (Algorithm 1 resamples per epoch; per-batch is the
 	// A2 ablation).
@@ -113,6 +119,9 @@ type Config struct {
 //   - ADMMInterval <= 0 → 3
 //   - FaultModel zero value → fault.ChenModel() (an explicitly set but
 //     degenerate model panics loudly instead of being remapped)
+//   - Scenario nil → stuck-at scenario over the resolved FaultModel
+//     (an explicitly set but invalid scenario panics, matching
+//     FaultModel); a transient scenario sets PerBatch
 //   - Sink nil → obs.Null
 //
 // Train applies Normalize internally; callers only need it to inspect
@@ -126,8 +135,24 @@ func (c Config) Normalize() Config {
 		c.ADMMInterval = 3
 	}
 	c.FaultModel = c.model()
+	c.Scenario = c.scenario()
+	if c.Scenario.Transient() {
+		c.PerBatch = true
+	}
 	c.Sink = obs.Or(c.Sink)
 	return c
+}
+
+// scenario resolves the effective training fault scenario, mirroring
+// DefectEval.scenario.
+func (c Config) scenario() fault.Scenario {
+	if c.Scenario == nil {
+		return fault.StuckAt(c.model())
+	}
+	if err := c.Scenario.Validate(); err != nil {
+		panic("core: invalid Config.Scenario: " + err.Error())
+	}
+	return c.Scenario
 }
 
 // model resolves the effective fault model: the zero value means
@@ -213,7 +238,7 @@ func Train(ctx context.Context, net *nn.Network, ds *data.Dataset, cfg Config) (
 	loader := data.NewLoader(ds, cfg.Batch, cfg.Aug, true, shuffleRNG)
 	weights := WeightTensors(net)
 	faultRNG := rng.Stream("train-faults")
-	model := cfg.FaultModel
+	sc := cfg.Scenario
 
 	start := time.Now()
 	res := &Result{}
@@ -230,7 +255,7 @@ func Train(ctx context.Context, net *nn.Network, ds *data.Dataset, cfg Config) (
 		case cfg.Pinned != nil:
 			dm = cfg.Pinned
 		case cfg.FaultRate > 0 && !cfg.PerBatch:
-			dm = fault.DrawDeviceMap(faultRNG.StreamN("epoch", epoch), model, weights, cfg.FaultRate)
+			dm = sc.DrawMap(faultRNG.StreamN("epoch", epoch), weights, cfg.FaultRate)
 		}
 
 		loader.Epoch()
@@ -246,7 +271,7 @@ func Train(ctx context.Context, net *nn.Network, ds *data.Dataset, cfg Config) (
 				break
 			}
 			if cfg.PerBatch && cfg.FaultRate > 0 && cfg.Pinned == nil {
-				dm = fault.DrawDeviceMap(faultRNG.StreamN("batch", epoch*100000+step), model, weights, cfg.FaultRate)
+				dm = sc.DrawMap(faultRNG.StreamN("batch", epoch*100000+step), weights, cfg.FaultRate)
 			}
 			var lesion *fault.Lesion
 			if dm != nil {

@@ -10,6 +10,7 @@ import (
 	"github.com/ftpim/ftpim/internal/ckpt"
 	"github.com/ftpim/ftpim/internal/core"
 	"github.com/ftpim/ftpim/internal/data"
+	"github.com/ftpim/ftpim/internal/fault"
 	"github.com/ftpim/ftpim/internal/models"
 	"github.com/ftpim/ftpim/internal/nn"
 	"github.com/ftpim/ftpim/internal/obs"
@@ -36,6 +37,14 @@ type Env struct {
 	// between writes (<=0 → every epoch).
 	Ckpt      *ckpt.Store
 	CkptEvery int
+
+	// Scenario selects the fault scenario every training injection and
+	// defect evaluation in this environment uses (nil → the default
+	// "chen" scenario, preserving all legacy outputs byte-identically).
+	// FT models trained under a non-default scenario get their own
+	// cache keys; scenario-independent models (pretrained, pruned
+	// without FT) are shared across scenarios.
+	Scenario fault.Scenario
 
 	datasets map[string][2]*data.Dataset
 	nets     map[string]*nn.Network
@@ -210,12 +219,28 @@ func (e *Env) trainCfg(key string, epochs int, lr float64, seed uint64) core.Con
 		Epochs: epochs, Batch: s.Batch,
 		LR: lr, Momentum: s.Momentum, WeightDecay: s.WeightDecay,
 		Aug: s.Aug, Seed: seed, Sink: e.Sink,
+		Scenario: e.Scenario,
 	}
 	if e.Ckpt != nil {
 		cfg.Ckpt = e.Ckpt.Run(key)
 		cfg.CkptEvery = e.CkptEvery
 	}
 	return cfg
+}
+
+// scenarioSuffix is the cache-key suffix of FT models whose training
+// injection depends on the environment's scenario: empty for the
+// default scenario — so every pre-existing cache entry and checkpoint
+// stays valid — and a spec-derived tag otherwise.
+func (e *Env) scenarioSuffix() string {
+	if e.Scenario == nil {
+		return ""
+	}
+	spec := e.Scenario.Spec()
+	if spec == fault.Default().Spec() {
+		return ""
+	}
+	return fmt.Sprintf("+sc%d", hash64(spec))
 }
 
 // Pretrained returns the baseline well-trained model for a dataset
@@ -234,7 +259,7 @@ func (e *Env) Pretrained(ctx context.Context, ds string) (*nn.Network, error) {
 // pretrained baseline at training rate Psa^T.
 func (e *Env) OneShot(ctx context.Context, ds string, rate float64) (*nn.Network, error) {
 	train, _ := e.Dataset(ds)
-	key := fmt.Sprintf("oneshot-%s-%g", ds, rate)
+	key := fmt.Sprintf("oneshot-%s-%g%s", ds, rate, e.scenarioSuffix())
 	return e.cached(key, func() *nn.Network { return e.buildModel(ds) },
 		func(net *nn.Network) error {
 			base, err := e.Pretrained(ctx, ds)
@@ -252,7 +277,7 @@ func (e *Env) OneShot(ctx context.Context, ds string, rate float64) (*nn.Network
 // from the pretrained baseline up the ladder ending at Psa^T.
 func (e *Env) Progressive(ctx context.Context, ds string, rate float64) (*nn.Network, error) {
 	train, _ := e.Dataset(ds)
-	key := fmt.Sprintf("prog-%s-%g", ds, rate)
+	key := fmt.Sprintf("prog-%s-%g%s", ds, rate, e.scenarioSuffix())
 	return e.cached(key, func() *nn.Network { return e.buildModel(ds) },
 		func(net *nn.Network) error {
 			base, err := e.Pretrained(ctx, ds)
@@ -319,7 +344,7 @@ func (e *Env) PrunedFT(ctx context.Context, ds string, sparsity, rate float64, p
 	if progressive {
 		method = "prog"
 	}
-	key := fmt.Sprintf("admmft-%s-%g-%s-%g", ds, sparsity, method, rate)
+	key := fmt.Sprintf("admmft-%s-%g-%s-%g%s", ds, sparsity, method, rate, e.scenarioSuffix())
 	return e.cached(key, func() *nn.Network { return e.buildModel(ds) },
 		func(net *nn.Network) error {
 			base, err := e.PrunedADMM(ctx, ds, sparsity)
@@ -337,12 +362,34 @@ func (e *Env) PrunedFT(ctx context.Context, ds string, sparsity, rate float64, p
 		})
 }
 
-// DefectEval returns the evaluation protocol at this scale.
+// DropConnect returns the drop-connect FT model retrained from the
+// pretrained baseline with per-batch drop rate `drop`. The scheme
+// fixes its own ("drop") scenario, so the cached model is shared
+// across environment scenarios.
+func (e *Env) DropConnect(ctx context.Context, ds string, drop float64) (*nn.Network, error) {
+	train, _ := e.Dataset(ds)
+	key := fmt.Sprintf("dropconnect-%s-%g", ds, drop)
+	return e.cached(key, func() *nn.Network { return e.buildModel(ds) },
+		func(net *nn.Network) error {
+			base, err := e.Pretrained(ctx, ds)
+			if err != nil {
+				return err
+			}
+			mustRestore(net, base)
+			cfg := e.trainCfg(key, e.Scale.FTEpochs, e.Scale.FTLR, e.Scale.Seed+hash64(key))
+			cfg.Scenario = nil // DropConnectFT installs the drop scenario
+			_, err = core.DropConnectFT(ctx, net, train, cfg, drop)
+			return err
+		})
+}
+
+// DefectEval returns the evaluation protocol at this scale, under the
+// environment's scenario.
 func (e *Env) DefectEval() core.DefectEval {
 	return core.DefectEval{
 		Runs: e.Scale.DefectRuns, Batch: 128,
 		Seed: e.Scale.Seed * 31, Workers: e.Scale.Workers,
-		Sink: e.Sink,
+		Sink: e.Sink, Scenario: e.Scenario,
 	}
 }
 

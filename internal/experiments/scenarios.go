@@ -1,0 +1,131 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+
+	"github.com/ftpim/ftpim/internal/core"
+	"github.com/ftpim/ftpim/internal/fault"
+	"github.com/ftpim/ftpim/internal/nn"
+	"github.com/ftpim/ftpim/internal/report"
+)
+
+// scenarioFTRate is the representative FT target rate the scenario
+// sweep retrains at — the paper's mid rate.
+const scenarioFTRate = 0.05
+
+// DefaultScenarioSpecs is the sweep's default scenario list: every
+// built-in scenario at its registered defaults.
+var DefaultScenarioSpecs = []string{"chen", "transient", "cluster", "drop"}
+
+// ScenarioRow is one (scenario, FT scheme) stability measurement.
+type ScenarioRow struct {
+	Scenario   string // canonical spec
+	Method     string
+	AccRetrain float64 // percent
+	AccDefect  []float64
+	SS         []float64
+}
+
+// ScenarioSweepResult cross-evaluates the FT schemes under every
+// requested fault scenario: a model is trained once (with its own
+// scheme) and its stability is measured under each scenario's defect
+// distribution, answering "how does this retraining hold up when the
+// deployed device's faults don't match the training assumption?".
+type ScenarioSweepResult struct {
+	Dataset     string
+	AccPretrain float64 // percent
+	Rates       []float64
+	Rows        []ScenarioRow
+}
+
+// ScenarioSweep measures baseline, one-shot FT, and drop-connect FT
+// models under each scenario spec (nil/empty → DefaultScenarioSpecs).
+// Specs are resolved through fault.Parse, so anything accepted by the
+// -fault flag works here. On cancellation the rows completed so far
+// are returned with ctx's error.
+func ScenarioSweep(ctx context.Context, e *Env, ds string, specs []string) (*ScenarioSweepResult, error) {
+	if len(specs) == 0 {
+		specs = DefaultScenarioSpecs
+	}
+	scenarios := make([]fault.Scenario, len(specs))
+	for i, spec := range specs {
+		sc, err := fault.Parse(spec)
+		if err != nil {
+			return nil, err
+		}
+		scenarios[i] = sc
+	}
+
+	_, test := e.Dataset(ds)
+	base, err := e.Pretrained(ctx, ds)
+	if err != nil {
+		return nil, err
+	}
+	ev := e.DefectEval()
+	res := &ScenarioSweepResult{
+		Dataset:     ds,
+		AccPretrain: core.EvalClean(base, test, ev.Batch) * 100,
+		Rates:       e.Scale.SSRates,
+	}
+	accPre := res.AccPretrain / 100
+
+	type scheme struct {
+		label string
+		net   func() (*nn.Network, error)
+	}
+	schemes := []scheme{
+		{"Baseline (no FT)", func() (*nn.Network, error) { return base, nil }},
+		{fmt.Sprintf("One-Shot Psa^T=%g", scenarioFTRate),
+			func() (*nn.Network, error) { return e.OneShot(ctx, ds, scenarioFTRate) }},
+		{fmt.Sprintf("Drop-Connect p=%g", scenarioFTRate),
+			func() (*nn.Network, error) { return e.DropConnect(ctx, ds, scenarioFTRate) }},
+	}
+	for _, s := range schemes {
+		net, err := s.net()
+		if err != nil {
+			return res, err
+		}
+		for _, sc := range scenarios {
+			c := ev
+			c.Scenario = sc
+			rep, err := core.Stability(ctx, net, test, accPre, e.Scale.SSRates, c)
+			if err != nil {
+				return res, err
+			}
+			row := ScenarioRow{Scenario: sc.Spec(), Method: s.label, AccRetrain: rep.AccRetrain * 100}
+			for i := range rep.Rates {
+				row.AccDefect = append(row.AccDefect, rep.AccDefect[i]*100)
+				row.SS = append(row.SS, rep.SS[i])
+			}
+			res.Rows = append(res.Rows, row)
+		}
+	}
+	return res, nil
+}
+
+// Table renders the sweep: one row per (FT scheme, scenario).
+func (r *ScenarioSweepResult) Table() *report.Table {
+	header := []string{"Method", "Scenario", "AccRetrain"}
+	for _, rate := range r.Rates {
+		header = append(header, fmt.Sprintf("AccDef(%g)", rate))
+	}
+	for _, rate := range r.Rates {
+		header = append(header, fmt.Sprintf("SS(%g)", rate))
+	}
+	t := report.NewTable(
+		fmt.Sprintf("Fault-scenario sweep (%s): stability per scenario, pretrained accuracy = %.2f%%",
+			r.Dataset, r.AccPretrain),
+		header...)
+	for _, row := range r.Rows {
+		cells := []string{row.Method, row.Scenario, fmt.Sprintf("%.2f", row.AccRetrain)}
+		for _, a := range row.AccDefect {
+			cells = append(cells, fmt.Sprintf("%.2f", a))
+		}
+		for _, s := range row.SS {
+			cells = append(cells, formatSS(s))
+		}
+		t.AddRow(cells...)
+	}
+	return t
+}

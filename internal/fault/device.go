@@ -80,20 +80,9 @@ func (dm *DeviceMap) Apply(tensors []*tensor.Tensor) *Lesion {
 	if len(tensors) != len(dm.faults) {
 		panic("fault: DeviceMap tensor count mismatch")
 	}
-	l := dm.scratch
-	if l != nil && l.spent {
-		l.tensors = tensors
-		l.nSA0, l.nSA1, l.total = 0, 0, 0
-		l.spent = false
-		for len(l.undo) < len(tensors) {
-			l.undo = append(l.undo, nil)
-		}
-		l.undo = l.undo[:len(tensors)]
-	} else {
-		l = &Lesion{
-			tensors: tensors,
-			undo:    make([][]entry, len(tensors)),
-		}
+	l := recycleLesion(dm.scratch, tensors)
+	if l == nil {
+		l = newLesion(tensors)
 		dm.scratch = l
 	}
 	for ti, t := range tensors {

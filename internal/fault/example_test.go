@@ -9,7 +9,7 @@ import (
 
 // Inject stuck-at faults into a weight tensor, measure the model under
 // defect, and restore the exact clean weights.
-func ExampleInjector_Inject() {
+func ExampleStuckAtInjector_Inject() {
 	weights := tensor.FromSlice([]float32{0.5, -0.25, 1.0, -0.75}, 4)
 	inj := fault.NewInjector(fault.ChenModel(), []*tensor.Tensor{weights})
 

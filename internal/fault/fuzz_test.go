@@ -49,6 +49,48 @@ func FuzzLoadDeviceMap(f *testing.F) {
 	})
 }
 
+// FuzzParseScenario feeds arbitrary spec strings to the scenario
+// parser: it must accept or reject without panicking, and every
+// accepted scenario must have a canonical spec that round-trips to an
+// equivalent scenario.
+func FuzzParseScenario(f *testing.F) {
+	f.Add("chen")
+	f.Add("chen:r0=1.75,r1=9.04")
+	f.Add("transient:r0=1")
+	f.Add("cluster:len=8,tile=128")
+	f.Add("drop")
+	f.Add("cluster:len=-1")
+	f.Add("chen:r0=NaN")
+	f.Add("chen:r0=1e999")
+	f.Add(":::===,,,")
+	f.Add("chen:r0=1,r0=2")
+	f.Add("  chen  :  r0 = 1 ")
+
+	f.Fuzz(func(t *testing.T, spec string) {
+		sc, err := Parse(spec)
+		if err != nil {
+			if sc != nil {
+				t.Fatalf("Parse(%q) returned both a scenario and error %v", spec, err)
+			}
+			return
+		}
+		if err := sc.Validate(); err != nil {
+			t.Fatalf("Parse(%q) returned an invalid scenario: %v", spec, err)
+		}
+		canon := sc.Spec()
+		sc2, err := Parse(canon)
+		if err != nil {
+			t.Fatalf("canonical spec %q (from %q) does not re-parse: %v", canon, spec, err)
+		}
+		if sc2.Spec() != canon {
+			t.Fatalf("canonical spec is not a fixed point: %q -> %q", canon, sc2.Spec())
+		}
+		if sc2.Transient() != sc.Transient() {
+			t.Fatalf("spec %q: Transient() not preserved by round-trip", spec)
+		}
+	})
+}
+
 // FuzzDeviceMapRoundTrip draws device maps from fuzzed seeds and rates
 // over fuzzed tensor shapes and checks the profile archive round-trip
 // reproduces the exact defect pattern (same faults applied to the same

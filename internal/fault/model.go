@@ -1,5 +1,7 @@
-// Package fault implements the weight-level ReRAM stuck-at-fault model
-// the paper evaluates with: every weight cell independently fails with
+// Package fault implements weight-level ReRAM fault scenarios.
+//
+// The paper's model — and this package's default Scenario — is the
+// independent stuck-at distribution: every weight cell fails with
 // probability Psa, splitting into stuck-off (SA0) and stuck-on (SA1)
 // faults at the empirically reported ratio 1.75 : 9.04 (Chen et al.,
 // march-test RRAM defect modeling [23]).
@@ -11,6 +13,14 @@
 // drawn uniformly. Because most faults are stuck-on, even small Psa
 // scatters full-magnitude outliers through the weight tensor, which is
 // what collapses the baseline models in Table I.
+//
+// Beyond the default, fault distributions are pluggable: the Scenario
+// interface plus the Register/Parse registry let callers select
+// alternative models by spec string — "transient" (fresh lesion per
+// forward pass), "cluster" (row-burst spatially-correlated defects),
+// "drop" (SA0-only transient drops, the injection half of drop-connect
+// fault-tolerant training). See scenario.go and the DESIGN.md section
+// "Fault scenarios and FT schemes".
 package fault
 
 import (
@@ -37,10 +47,23 @@ func (k Kind) String() string {
 }
 
 // Model fixes the SA0/SA1 split of the overall stuck-at rate.
+//
+// Deprecated-ish: Model survives as the parameter block of the
+// stuck-at scenario family, but code outside this package should not
+// build Model literals — use NewModel, ChenModel, Uniform, or a
+// Scenario spec string instead (enforced by the repo-root API-guard
+// test).
 type Model struct {
 	// Ratio0 and Ratio1 are the relative weights of SA0 and SA1.
 	// Only their ratio matters; they are normalized internally.
 	Ratio0, Ratio1 float64
+}
+
+// NewModel builds a stuck-at mix with the given SA0/SA1 relative
+// weights. It is the only sanctioned way for code outside this package
+// to construct a custom Model value.
+func NewModel(ratio0, ratio1 float64) Model {
+	return Model{Ratio0: ratio0, Ratio1: ratio1}
 }
 
 // ChenModel returns the fault mix measured by Chen et al. [23] and
@@ -137,16 +160,42 @@ func (l *Lesion) Undo() {
 	l.spent = true
 }
 
-// Injector draws stuck-at faults over a set of weight tensors.
+// recycleLesion returns prev reset over ts when prev is an undone
+// record that may be reused (the steady-state inject→eval→undo loop),
+// or nil when the caller must allocate a fresh one (overlapping live
+// lesions).
+func recycleLesion(prev *Lesion, ts []*tensor.Tensor) *Lesion {
+	if prev == nil || !prev.spent {
+		return nil
+	}
+	prev.tensors = ts
+	prev.nSA0, prev.nSA1, prev.total = 0, 0, 0
+	prev.spent = false
+	for len(prev.undo) < len(ts) {
+		prev.undo = append(prev.undo, nil)
+	}
+	prev.undo = prev.undo[:len(ts)]
+	return prev
+}
+
+// newLesion allocates a fresh lesion record over ts.
+func newLesion(ts []*tensor.Tensor) *Lesion {
+	return &Lesion{tensors: ts, undo: make([][]entry, len(ts))}
+}
+
+// StuckAtInjector draws independent stuck-at faults over a set of
+// weight tensors. It is the Injector of the "chen", "transient", and
+// "drop" scenarios.
 //
 // Each tensor uses its own symmetric range [−wmax, +wmax] with
 // wmax = max|w| at injection time, mirroring per-layer crossbar scaling
 // (every layer's weights are programmed with their own conductance
 // scale, so a stuck-on cell saturates at that layer's maximum).
-// An Injector is not safe for concurrent use: it recycles one lesion
-// record and one RNG across calls. The parallel evaluation protocol in
-// internal/core gives every worker its own injector.
-type Injector struct {
+// A StuckAtInjector is not safe for concurrent use: it recycles one
+// lesion record and one RNG across calls (see the Injector reuse
+// contract). The parallel evaluation protocol in internal/core gives
+// every worker its own injector.
+type StuckAtInjector struct {
 	Model   Model
 	Tensors []*tensor.Tensor
 
@@ -154,36 +203,22 @@ type Injector struct {
 	runRNG  *tensor.RNG // recycled per-run stream for InjectRun
 }
 
-// NewInjector builds an injector over the given weight tensors.
-func NewInjector(m Model, tensors []*tensor.Tensor) *Injector {
-	return &Injector{Model: m, Tensors: tensors}
+// NewInjector builds a stuck-at injector over the given weight tensors.
+func NewInjector(m Model, tensors []*tensor.Tensor) *StuckAtInjector {
+	return &StuckAtInjector{Model: m, Tensors: tensors}
 }
 
 // Inject applies stuck-at faults with total rate psa, drawing from
 // rng, and returns the lesion for undo. Every weight element fails
 // independently with probability psa (exact Bernoulli process — no
 // approximation), split between SA0/SA1 by the model.
-func (inj *Injector) Inject(rng *tensor.RNG, psa float64) *Lesion {
+func (inj *StuckAtInjector) Inject(rng *tensor.RNG, psa float64) *Lesion {
 	if psa < 0 || psa > 1 {
 		panic(fmt.Sprintf("fault: psa %v out of [0,1]", psa))
 	}
-	// Recycle the previous lesion once it has been undone (the
-	// steady-state inject→eval→undo loop); overlapping live lesions
-	// still get fresh records.
-	l := inj.scratch
-	if l != nil && l.spent {
-		l.tensors = inj.Tensors
-		l.nSA0, l.nSA1, l.total = 0, 0, 0
-		l.spent = false
-		for len(l.undo) < len(inj.Tensors) {
-			l.undo = append(l.undo, nil)
-		}
-		l.undo = l.undo[:len(inj.Tensors)]
-	} else {
-		l = &Lesion{
-			tensors: inj.Tensors,
-			undo:    make([][]entry, len(inj.Tensors)),
-		}
+	l := recycleLesion(inj.scratch, inj.Tensors)
+	if l == nil {
+		l = newLesion(inj.Tensors)
 		inj.scratch = l
 	}
 	if psa == 0 {
@@ -230,7 +265,7 @@ func RunRNG(seed uint64, run int) *tensor.RNG {
 // identical lesions for the same (seed, run, psa). The stream is drawn
 // by reseeding a recycled RNG, which is bit-equivalent to RunRNG but
 // allocation-free in the steady state.
-func (inj *Injector) InjectRun(seed uint64, run int, psa float64) *Lesion {
+func (inj *StuckAtInjector) InjectRun(seed uint64, run int, psa float64) *Lesion {
 	if inj.runRNG == nil {
 		inj.runRNG = tensor.NewRNG(0)
 	}
@@ -238,8 +273,20 @@ func (inj *Injector) InjectRun(seed uint64, run int, psa float64) *Lesion {
 	return inj.Inject(inj.runRNG, psa)
 }
 
+// InjectStep applies the per-inference injection of forward pass
+// `step` within Monte-Carlo run `run` — the transient-scenario draw.
+// The stream depends only on (seed, run, step), per the positional RNG
+// contract, and is drawn allocation-free off the recycled RNG.
+func (inj *StuckAtInjector) InjectStep(seed uint64, run, step int, psa float64) *Lesion {
+	if inj.runRNG == nil {
+		inj.runRNG = tensor.NewRNG(0)
+	}
+	inj.runRNG.Reseed(stepSeed(seed, run, step))
+	return inj.Inject(inj.runRNG, psa)
+}
+
 // NumWeights returns the total number of weight elements covered.
-func (inj *Injector) NumWeights() int {
+func (inj *StuckAtInjector) NumWeights() int {
 	n := 0
 	for _, t := range inj.Tensors {
 		n += t.Len()

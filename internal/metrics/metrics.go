@@ -15,25 +15,50 @@ import (
 // Evaluate returns the top-1 accuracy of net on ds, evaluated in
 // inference mode with the given batch size.
 func Evaluate(net *nn.Network, ds *data.Dataset, batch int) float64 {
+	return EvaluateHooked(net, ds, batch, nil)
+}
+
+// BatchHook observes the batched evaluation loop: BeforeBatch runs
+// just before the forward pass of batch `step` (0-based), AfterBatch
+// right after its predictions are scored. This is the seam transient
+// fault scenarios use to redraw a lesion per inference pass; hooks
+// must leave the network's weights bitwise restored by the time
+// AfterBatch returns.
+type BatchHook interface {
+	BeforeBatch(step int)
+	AfterBatch(step int)
+}
+
+// EvaluateHooked is Evaluate with a per-batch hook; a nil hook is
+// exactly Evaluate. The hook receives consecutive step indices in
+// dataset order, so a positional-RNG hook produces the same lesion
+// sequence on every call.
+func EvaluateHooked(net *nn.Network, ds *data.Dataset, batch int, h BatchHook) float64 {
 	if batch <= 0 {
 		batch = 64
 	}
 	n := ds.N()
-	c, h, w := ds.Dims()
-	stride := c * h * w
+	c, hh, w := ds.Dims()
+	stride := c * hh * w
 	correct := 0
 	var x tensor.Tensor // reused view over the dataset, no per-batch alloc
-	for start := 0; start < n; start += batch {
+	for start, step := 0, 0; start < n; start, step = start+batch, step+1 {
 		bs := batch
 		if start+bs > n {
 			bs = n - start
 		}
-		x.SetView(ds.Images.Data()[start*stride:(start+bs)*stride], bs, c, h, w)
+		x.SetView(ds.Images.Data()[start*stride:(start+bs)*stride], bs, c, hh, w)
+		if h != nil {
+			h.BeforeBatch(step)
+		}
 		out := net.Forward(&x, false)
 		for i := 0; i < bs; i++ {
 			if out.ArgMaxRow(i) == ds.Labels[start+i] {
 				correct++
 			}
+		}
+		if h != nil {
+			h.AfterBatch(step)
 		}
 	}
 	return float64(correct) / float64(n)

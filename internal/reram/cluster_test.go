@@ -1,0 +1,136 @@
+package reram
+
+// Circuit-level tests for the row-burst (clustered) fault injectors:
+// realized rate tracking, wordline confinement, shared burst kinds, and
+// the tiled MappedMatrix front door that realizes fault.Clustered on
+// physical crossbars.
+
+import (
+	"testing"
+
+	"github.com/ftpim/ftpim/internal/fault"
+	"github.com/ftpim/ftpim/internal/tensor"
+)
+
+func mustPanic(t *testing.T, what string, f func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("expected panic: %s", what)
+		}
+	}()
+	f()
+}
+
+func TestInjectRowBurstsRealizedRate(t *testing.T) {
+	x := NewCrossbar(200, 100, 0, 0.1, 10)
+	const psa = 0.05
+	n := x.InjectRowBursts(tensor.NewRNG(41), fault.ChenModel(), psa, 8)
+	if n != x.NumFaults() {
+		t.Fatalf("returned count %d, NumFaults says %d", n, x.NumFaults())
+	}
+	rate := float64(n) / float64(200*100)
+	// Starts are thinned to psa/burstLen, so the expected per-cell rate
+	// is psa minus a small row-truncation loss.
+	if rate < 0.6*psa || rate > 1.2*psa {
+		t.Fatalf("realized rate %.4f, want ≈ %.2f", rate, psa)
+	}
+}
+
+// TestInjectRowBurstsConfinedToWordlines pins the truncation rule with
+// a burst length far beyond the row width: every burst must then run
+// from its start to exactly the end of its wordline, one kind per
+// burst, never spilling into the next row.
+func TestInjectRowBurstsConfinedToWordlines(t *testing.T) {
+	const rows, cols = 256, 16
+	x := NewCrossbar(rows, cols, 0, 0.1, 10)
+	// Starts are thinned to psa/burstLen, so a long burst needs a high
+	// rate and many rows to draw a non-vacuous sample.
+	n := x.InjectRowBursts(tensor.NewRNG(7), fault.ChenModel(), 0.5, 10*cols)
+	if n == 0 {
+		t.Fatal("no bursts drawn; test is vacuous")
+	}
+	cleanRows := 0
+	for r := 0; r < rows; r++ {
+		start := -1
+		for c := 0; c < cols; c++ {
+			if x.Fault(r, c) != FaultNone {
+				start = c
+				break
+			}
+		}
+		if start < 0 {
+			cleanRows++
+			continue
+		}
+		kind := x.Fault(r, start)
+		for c := start; c < cols; c++ {
+			if x.Fault(r, c) != kind {
+				t.Fatalf("row %d: cell %d is %v, burst kind is %v (burst broken or mixed)", r, c, x.Fault(r, c), kind)
+			}
+		}
+	}
+	if cleanRows == 0 {
+		t.Fatal("every row faulted; truncation check has no negative cases")
+	}
+	x.ClearFaults()
+	if x.NumFaults() != 0 {
+		t.Fatal("ClearFaults left faults behind")
+	}
+}
+
+func TestInjectRowBurstsRejectsBadArgs(t *testing.T) {
+	x := NewCrossbar(4, 4, 0, 0.1, 10)
+	mustPanic(t, "psa out of range", func() {
+		x.InjectRowBursts(tensor.NewRNG(1), fault.ChenModel(), 1.5, 4)
+	})
+	mustPanic(t, "burst length < 1", func() {
+		x.InjectRowBursts(tensor.NewRNG(1), fault.ChenModel(), 0.1, 0)
+	})
+}
+
+func TestMappedMatrixInjectClusteredFaults(t *testing.T) {
+	w := tensor.New(40, 30)
+	r := tensor.NewRNG(3)
+	for i := 0; i < w.Len(); i++ {
+		w.Data()[i] = r.Normal(0, 1)
+	}
+	opts := DefaultMapOptions()
+	opts.TileRows, opts.TileCols = 16, 16
+	m := MapMatrix(w, opts)
+
+	n := m.InjectClusteredFaults(tensor.NewRNG(9), fault.NewClustered(4, 0, fault.ChenModel()), 0.2)
+	if n == 0 {
+		t.Fatal("no clustered faults injected at psa=0.2")
+	}
+	if n != m.NumFaults() {
+		t.Fatalf("returned count %d, NumFaults says %d", n, m.NumFaults())
+	}
+	// Bursts must land on both differential arrays of the tile grid.
+	rt, ct := m.TileGrid()
+	pn, nn := 0, 0
+	for i := 0; i < rt; i++ {
+		for j := 0; j < ct; j++ {
+			p, ng := m.Tiles(i, j)
+			pn += p.NumFaults()
+			nn += ng.NumFaults()
+		}
+	}
+	if pn == 0 || nn == 0 {
+		t.Fatalf("faults pos=%d neg=%d; both arrays must be exposed", pn, nn)
+	}
+	if pn+nn != n {
+		t.Fatalf("tile sum %d != injected %d", pn+nn, n)
+	}
+	m.ClearFaults()
+	if m.NumFaults() != 0 {
+		t.Fatal("ClearFaults left faults behind")
+	}
+}
+
+func TestMappedMatrixInjectClusteredFaultsValidates(t *testing.T) {
+	m := MapMatrix(tensor.New(8, 8), DefaultMapOptions())
+	mustPanic(t, "invalid clustered scenario", func() {
+		m.InjectClusteredFaults(tensor.NewRNG(1), fault.Clustered{Len: -1, Tile: 8, Mix: fault.ChenModel()}, 0.1)
+	})
+}

@@ -182,6 +182,46 @@ func (x *Crossbar) InjectFaults(rng *tensor.RNG, m fault.Model, psa float64) int
 	return n
 }
 
+// InjectRowBursts draws spatially-clustered stuck-at faults: defects
+// arrive as bursts of up to burstLen consecutive cells along a
+// wordline (row), all sharing one stuck-at kind — the circuit-level
+// counterpart of the weight-level "cluster" scenario (fault.Clustered
+// with Tile = Cols). Burst starts are drawn per cell at rate
+// psa/burstLen so the expected per-cell fault rate stays ≈ psa; a
+// burst truncates at its row boundary. Returns the number of cells
+// faulted.
+func (x *Crossbar) InjectRowBursts(rng *tensor.RNG, m fault.Model, psa float64, burstLen int) int {
+	if psa < 0 || psa > 1 {
+		panic(fmt.Sprintf("reram: psa %v out of [0,1]", psa))
+	}
+	if burstLen < 1 {
+		panic(fmt.Sprintf("reram: burst length %d < 1", burstLen))
+	}
+	pStart := psa / float64(burstLen)
+	p1 := m.P1()
+	n := 0
+	for i := 0; i < len(x.faults); {
+		if rng.Float64() >= pStart {
+			i++
+			continue
+		}
+		rowEnd := (i/x.Cols + 1) * x.Cols
+		end := i + burstLen
+		if end > rowEnd {
+			end = rowEnd
+		}
+		f := FaultSA0
+		if rng.Float64() < p1 {
+			f = FaultSA1
+		}
+		for ; i < end; i++ {
+			x.faults[i] = f
+			n++
+		}
+	}
+	return n
+}
+
 // NumFaults counts faulty cells.
 func (x *Crossbar) NumFaults() int {
 	n := 0

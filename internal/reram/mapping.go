@@ -124,6 +124,26 @@ func (m *MappedMatrix) InjectFaults(rng *tensor.RNG, fm fault.Model, psa float64
 	return n
 }
 
+// InjectClusteredFaults draws row-burst stuck-at faults over every
+// tile of both differential arrays, the circuit-level realization of
+// the weight-level fault.Clustered scenario: each physical crossbar
+// confines a burst to one of its wordlines, which is exactly the
+// scenario's tile-boundary rule (Tile = crossbar width). Returns the
+// number of cells faulted.
+func (m *MappedMatrix) InjectClusteredFaults(rng *tensor.RNG, c fault.Clustered, psa float64) int {
+	if err := c.Validate(); err != nil {
+		panic("reram: " + err.Error())
+	}
+	n := 0
+	for rt := range m.pos {
+		for ct := range m.pos[rt] {
+			n += m.pos[rt][ct].InjectRowBursts(rng, c.Mix, psa, c.Len)
+			n += m.neg[rt][ct].InjectRowBursts(rng, c.Mix, psa, c.Len)
+		}
+	}
+	return n
+}
+
 // ClearFaults heals every cell.
 func (m *MappedMatrix) ClearFaults() {
 	for rt := range m.pos {

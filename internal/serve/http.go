@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"github.com/ftpim/ftpim/internal/core"
+	"github.com/ftpim/ftpim/internal/fault"
 	"github.com/ftpim/ftpim/internal/metrics"
 	"github.com/ftpim/ftpim/internal/obs"
 )
@@ -37,12 +38,19 @@ type InferResponse struct {
 
 // DefectEvalRequest is the body of POST /v1/defect-eval: a
 // Monte-Carlo stability evaluation over the given stuck-at rates.
-// Omitted fields inherit the server's configured defaults.
+// Omitted fields inherit the server's configured defaults; in
+// particular an omitted scenario uses the server's configured fault
+// scenario ("chen" unless overridden), so pre-scenario request bodies
+// behave byte-identically.
 type DefectEvalRequest struct {
 	Rates []float64 `json:"rates"`
 	Runs  int       `json:"runs,omitempty"`
 	Seed  *uint64   `json:"seed,omitempty"`
 	Batch int       `json:"batch,omitempty"`
+	// Scenario is a fault-scenario spec string resolved by
+	// fault.Parse, e.g. "chen:r0=1,r1=1", "transient", "cluster:len=8",
+	// "drop".
+	Scenario string `json:"scenario,omitempty"`
 }
 
 // RateResult is one rate's Monte-Carlo summary, mirroring
@@ -59,11 +67,15 @@ type RateResult struct {
 
 // DefectEvalResponse is the body of a successful /v1/defect-eval
 // call. It echoes the effective seed and runs so a client can
-// reproduce the result offline with a direct engine call.
+// reproduce the result offline with a direct engine call. Scenario is
+// the canonical spec of the scenario the request selected; it is
+// omitted when the request didn't set one, keeping legacy responses
+// byte-identical.
 type DefectEvalResponse struct {
-	Seed    uint64       `json:"seed"`
-	Runs    int          `json:"runs"`
-	Results []RateResult `json:"results"`
+	Seed     uint64       `json:"seed"`
+	Runs     int          `json:"runs"`
+	Scenario string       `json:"scenario,omitempty"`
+	Results  []RateResult `json:"results"`
 }
 
 // NewDefectEvalResponse assembles the wire response for one sweep.
@@ -77,6 +89,65 @@ func NewDefectEvalResponse(seed uint64, runs int, rates []float64, sums []metric
 			Rate: rates[i], N: s.N, Mean: s.Mean, Std: s.Std,
 			Min: s.Min, Max: s.Max, P50: s.P50,
 		}
+	}
+	return resp
+}
+
+// StabilityRequest is the body of POST /v1/stability: the paper's
+// Stability Score protocol (Eq. 1) over the given stuck-at rates.
+// Field semantics match DefectEvalRequest; omitted fields inherit the
+// server's configured defaults.
+type StabilityRequest struct {
+	Rates    []float64 `json:"rates"`
+	Runs     int       `json:"runs,omitempty"`
+	Seed     *uint64   `json:"seed,omitempty"`
+	Batch    int       `json:"batch,omitempty"`
+	Scenario string    `json:"scenario,omitempty"`
+}
+
+// StabilityRateResult is one rate's defect accuracy and Stability
+// Score. SS is null when the score is +Inf — the defect accuracy
+// matched or exceeded the reference accuracy, i.e. zero degradation —
+// since JSON cannot encode infinities.
+type StabilityRateResult struct {
+	Rate      float64  `json:"rate"`
+	AccDefect float64  `json:"acc_defect"`
+	SS        *float64 `json:"ss"`
+}
+
+// StabilityResponse is the body of a successful /v1/stability call.
+// AccPretrain is the served model's fault-free accuracy (the server
+// hosts one model, so the deployed weights are their own pretrain
+// reference); AccRetrain is the clean accuracy of the same weights —
+// identical here, but kept as two fields to mirror
+// core.StabilityReport and stay forward-compatible with serving
+// FT-model/base-model pairs.
+type StabilityResponse struct {
+	Seed        uint64                `json:"seed"`
+	Runs        int                   `json:"runs"`
+	AccPretrain float64               `json:"acc_pretrain"`
+	AccRetrain  float64               `json:"acc_retrain"`
+	Scenario    string                `json:"scenario,omitempty"`
+	Results     []StabilityRateResult `json:"results"`
+}
+
+// NewStabilityResponse assembles the wire response for one stability
+// report. Exported for the same reason as NewDefectEvalResponse: the
+// conformance suite serializes direct engine results through the exact
+// code path the handler uses.
+func NewStabilityResponse(seed uint64, runs int, rep core.StabilityReport) StabilityResponse {
+	resp := StabilityResponse{
+		Seed: seed, Runs: runs,
+		AccPretrain: rep.AccPretrain, AccRetrain: rep.AccRetrain,
+		Results: make([]StabilityRateResult, len(rep.Rates)),
+	}
+	for i := range rep.Rates {
+		rr := StabilityRateResult{Rate: rep.Rates[i], AccDefect: rep.AccDefect[i]}
+		if ss := rep.SS[i]; !math.IsInf(ss, 1) {
+			v := ss
+			rr.SS = &v
+		}
+		resp.Results[i] = rr
 	}
 	return resp
 }
@@ -123,6 +194,8 @@ func (s *Server) Handler() http.Handler {
 			s.route(w, r, "infer", http.MethodPost, s.handleInfer)
 		case "/v1/defect-eval":
 			s.route(w, r, "defect-eval", http.MethodPost, s.handleDefectEval)
+		case "/v1/stability":
+			s.route(w, r, "stability", http.MethodPost, s.handleStability)
 		case "/v1/healthz":
 			s.route(w, r, "healthz", http.MethodGet, s.handleHealthz)
 		default:
@@ -250,54 +323,102 @@ func (s *Server) handleInfer(w http.ResponseWriter, r *http.Request) int {
 	return s.writeJSON(w, InferResponse{Class: ir.class, Scores: ir.scores, Batch: ir.batch})
 }
 
+// evalRequestParams is the Monte-Carlo request surface shared by
+// /v1/defect-eval and /v1/stability (both request structs convert to
+// it field for field).
+type evalRequestParams struct {
+	Rates    []float64
+	Runs     int
+	Seed     *uint64
+	Batch    int
+	Scenario string
+}
+
+// validateEval checks the shared Monte-Carlo request fields and
+// resolves them over the server's configured defaults, returning the
+// effective eval config and the canonical scenario spec ("" when the
+// request omitted one). A non-zero status means the error response
+// was already written. Validation order (rates presence → rate count
+// → rate range → runs → batch → scenario) is pinned by the error
+// tests.
+func (s *Server) validateEval(w http.ResponseWriter, p evalRequestParams) (core.DefectEval, string, int) {
+	var zero core.DefectEval
+	if len(p.Rates) == 0 {
+		return zero, "", s.writeError(w, http.StatusBadRequest, CodeBadRequest, "rates must be non-empty")
+	}
+	if len(p.Rates) > s.cfg.MaxEvalRates {
+		return zero, "", s.writeError(w, http.StatusBadRequest, CodeBadRequest,
+			fmt.Sprintf("%d rates exceeds the limit of %d", len(p.Rates), s.cfg.MaxEvalRates))
+	}
+	for i, rate := range p.Rates {
+		if math.IsNaN(rate) || rate < 0 || rate > 1 {
+			return zero, "", s.writeError(w, http.StatusBadRequest, CodeBadRequest,
+				fmt.Sprintf("rates[%d] = %v is outside [0, 1]", i, rate))
+		}
+	}
+	if p.Runs < 0 || p.Runs > s.cfg.MaxEvalRuns {
+		return zero, "", s.writeError(w, http.StatusBadRequest, CodeBadRequest,
+			fmt.Sprintf("runs = %d is outside [0, %d]", p.Runs, s.cfg.MaxEvalRuns))
+	}
+	if p.Batch < 0 {
+		return zero, "", s.writeError(w, http.StatusBadRequest, CodeBadRequest,
+			fmt.Sprintf("batch = %d is negative", p.Batch))
+	}
+	cfg := s.cfg.Eval
+	spec := ""
+	if p.Scenario != "" {
+		sc, err := fault.Parse(p.Scenario)
+		if err != nil {
+			return zero, "", s.writeError(w, http.StatusBadRequest, CodeBadRequest, err.Error())
+		}
+		cfg.Scenario = sc
+		spec = sc.Spec()
+	}
+	if p.Runs > 0 {
+		cfg.Runs = p.Runs
+	}
+	if p.Seed != nil {
+		cfg.Seed = *p.Seed
+	}
+	if p.Batch > 0 {
+		cfg.Batch = p.Batch
+	}
+	return cfg, spec, 0
+}
+
+// acquireEval performs the draining check and takes one defect-eval
+// admission token (the semaphore is shared by /v1/defect-eval and
+// /v1/stability, so the combined concurrency stays capped). A non-zero
+// status means the request was rejected and the response written;
+// otherwise the caller must invoke the returned release func.
+func (s *Server) acquireEval(w http.ResponseWriter) (func(), int) {
+	if s.draining.Load() {
+		return nil, s.writeError(w, http.StatusServiceUnavailable, CodeDraining, "server is draining")
+	}
+	select {
+	case s.evals <- struct{}{}:
+		return func() { <-s.evals }, 0
+	default:
+		w.Header().Set("Retry-After", retryAfterSeconds(s.cfg.RetryAfter))
+		return nil, s.writeError(w, http.StatusTooManyRequests, CodeOverloaded,
+			fmt.Sprintf("at defect-eval concurrency limit (%d)", s.cfg.EvalConcurrency))
+	}
+}
+
 func (s *Server) handleDefectEval(w http.ResponseWriter, r *http.Request) int {
 	var req DefectEvalRequest
 	if code, status, err := decodeJSON(w, r, &req); err != nil {
 		return s.writeError(w, status, code, err.Error())
 	}
-	if len(req.Rates) == 0 {
-		return s.writeError(w, http.StatusBadRequest, CodeBadRequest, "rates must be non-empty")
+	cfg, spec, status := s.validateEval(w, evalRequestParams(req))
+	if status != 0 {
+		return status
 	}
-	if len(req.Rates) > s.cfg.MaxEvalRates {
-		return s.writeError(w, http.StatusBadRequest, CodeBadRequest,
-			fmt.Sprintf("%d rates exceeds the limit of %d", len(req.Rates), s.cfg.MaxEvalRates))
+	release, status := s.acquireEval(w)
+	if status != 0 {
+		return status
 	}
-	for i, rate := range req.Rates {
-		if math.IsNaN(rate) || rate < 0 || rate > 1 {
-			return s.writeError(w, http.StatusBadRequest, CodeBadRequest,
-				fmt.Sprintf("rates[%d] = %v is outside [0, 1]", i, rate))
-		}
-	}
-	if req.Runs < 0 || req.Runs > s.cfg.MaxEvalRuns {
-		return s.writeError(w, http.StatusBadRequest, CodeBadRequest,
-			fmt.Sprintf("runs = %d is outside [0, %d]", req.Runs, s.cfg.MaxEvalRuns))
-	}
-	if req.Batch < 0 {
-		return s.writeError(w, http.StatusBadRequest, CodeBadRequest,
-			fmt.Sprintf("batch = %d is negative", req.Batch))
-	}
-	if s.draining.Load() {
-		return s.writeError(w, http.StatusServiceUnavailable, CodeDraining, "server is draining")
-	}
-	select {
-	case s.evals <- struct{}{}:
-		defer func() { <-s.evals }()
-	default:
-		w.Header().Set("Retry-After", retryAfterSeconds(s.cfg.RetryAfter))
-		return s.writeError(w, http.StatusTooManyRequests, CodeOverloaded,
-			fmt.Sprintf("at defect-eval concurrency limit (%d)", s.cfg.EvalConcurrency))
-	}
-
-	cfg := s.cfg.Eval
-	if req.Runs > 0 {
-		cfg.Runs = req.Runs
-	}
-	if req.Seed != nil {
-		cfg.Seed = *req.Seed
-	}
-	if req.Batch > 0 {
-		cfg.Batch = req.Batch
-	}
+	defer release()
 	// A checked-out clone is bit-identical to the source model and the
 	// sweep's Monte-Carlo draws depend only on (seed, run), so this
 	// response matches a direct core.EvalDefectSweep call byte for
@@ -311,7 +432,34 @@ func (s *Server) handleDefectEval(w http.ResponseWriter, r *http.Request) int {
 		// went away (or the listener is shutting down with a deadline).
 		return s.writeError(w, http.StatusServiceUnavailable, CodeCanceled, err.Error())
 	}
-	return s.writeJSON(w, NewDefectEvalResponse(cfg.Seed, cfg.Runs, req.Rates, sums))
+	resp := NewDefectEvalResponse(cfg.Seed, cfg.Runs, req.Rates, sums)
+	resp.Scenario = spec
+	return s.writeJSON(w, resp)
+}
+
+func (s *Server) handleStability(w http.ResponseWriter, r *http.Request) int {
+	var req StabilityRequest
+	if code, status, err := decodeJSON(w, r, &req); err != nil {
+		return s.writeError(w, status, code, err.Error())
+	}
+	cfg, spec, status := s.validateEval(w, evalRequestParams(req))
+	if status != 0 {
+		return status
+	}
+	release, status := s.acquireEval(w)
+	if status != 0 {
+		return status
+	}
+	defer release()
+	e := s.pool.Get()
+	defer s.pool.Put(e)
+	rep, err := core.Stability(r.Context(), e.Net, s.test, s.cleanAcc(), req.Rates, cfg)
+	if err != nil {
+		return s.writeError(w, http.StatusServiceUnavailable, CodeCanceled, err.Error())
+	}
+	resp := NewStabilityResponse(cfg.Seed, cfg.Runs, rep)
+	resp.Scenario = spec
+	return s.writeJSON(w, resp)
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) int {

@@ -6,7 +6,13 @@
 //
 //	POST /v1/infer        {"image":[...]}            → {"class":k,"scores":[...],"batch":n}
 //	POST /v1/defect-eval  {"rates":[...],"runs":n,…} → {"seed":s,"runs":n,"results":[{rate,n,mean,…}]}
+//	POST /v1/stability    {"rates":[...],"runs":n,…} → {"seed":s,…,"results":[{rate,acc_defect,ss,…}]}
 //	GET  /v1/healthz                                 → {"status":"ok",…}
+//
+// Both Monte-Carlo endpoints accept an optional "scenario" spec
+// (fault.Parse grammar, e.g. "cluster:len=8"); omitting it keeps the
+// server's configured default, so legacy request bodies behave — and
+// serialize — exactly as before the field existed.
 //
 // Malformed requests yield a structured 4xx error envelope
 // ({"error":{"code":…,"message":…}}), never a 5xx or a panic.
@@ -86,9 +92,9 @@ type Config struct {
 	MaxEvalRates int
 	// RetryAfter is the Retry-After hint on 429 responses (<=0 → 1s).
 	RetryAfter time.Duration
-	// Eval supplies the defaults for defect-eval requests: Workers,
-	// eval batch size, fault model, and the seed/runs used when the
-	// request omits them. Normalized on New.
+	// Eval supplies the defaults for defect-eval and stability
+	// requests: Workers, eval batch size, fault scenario, and the
+	// seed/runs used when the request omits them. Normalized on New.
 	Eval core.DefectEval
 	// Sink receives serve.request/serve.batch/serve.drain events plus
 	// the engine's own eval events (nil → obs.Null). When disabled the
@@ -157,6 +163,25 @@ type Server struct {
 	batchSeq atomic.Int64
 	accepted atomic.Int64 // infer requests admitted past the queue
 	start    time.Time
+
+	// accClean is the served model's fault-free accuracy, the pretrain
+	// reference /v1/stability scores against, computed lazily on the
+	// first stability request (on a pooled clone, full test set).
+	accClean     float64
+	accCleanOnce sync.Once
+}
+
+// cleanAcc returns the served model's fault-free accuracy on the
+// evaluation dataset, computing it once on first use. The served model
+// is its own stability reference: SS compares defect accuracy against
+// the very weights being served.
+func (s *Server) cleanAcc() float64 {
+	s.accCleanOnce.Do(func() {
+		e := s.pool.Get()
+		defer s.pool.Put(e)
+		s.accClean = core.EvalClean(e.Net, s.test, s.cfg.Eval.Batch)
+	})
+	return s.accClean
 }
 
 // New creates a Server for the given trained network and evaluation
@@ -183,7 +208,7 @@ func New(model *nn.Network, test *data.Dataset, cfg Config) (*Server, error) {
 		stride:  c * h * w,
 		params:  model.NumParams(),
 		sink:    cfg.Sink,
-		pool:    core.NewClonePool(model, cfg.Eval.Model),
+		pool:    core.NewClonePool(model, cfg.Eval.Scenario),
 		queue:   make(chan *inferReq, cfg.QueueDepth),
 		execs:   make(chan *executor, cfg.Executors),
 		evals:   make(chan struct{}, cfg.EvalConcurrency),

@@ -1,0 +1,214 @@
+package serve
+
+// Conformance and contract tests for POST /v1/stability and for the
+// optional scenario field shared with /v1/defect-eval. The stability
+// endpoint must be byte-identical to a direct core.Stability call with
+// the served model as its own pretrain reference, and a request that
+// names a fault scenario must match a direct engine call configured
+// with the same parsed scenario.
+
+import (
+	"encoding/json"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+
+	"github.com/ftpim/ftpim/internal/core"
+	"github.com/ftpim/ftpim/internal/fault"
+)
+
+func TestServedStabilityBitIdenticalToDirect(t *testing.T) {
+	rates := []float64{0, 0.05, 0.1}
+	const runs = 3
+	const seed = uint64(4321)
+	evalBase := core.DefectEval{Runs: 5, Batch: 16, Seed: 999, Workers: 2}
+
+	s, net, test := newTestServer(t, Config{
+		Eval:            evalBase,
+		EvalConcurrency: 64,
+		MaxEvalRates:    8,
+	})
+	h := s.Handler()
+
+	// Ground truth: a direct core.Stability call with the request's
+	// parameters over the server defaults, using the served model's
+	// own clean accuracy as the pretrain reference, serialized through
+	// the handler's response constructor.
+	cfg := evalBase.Normalize()
+	cfg.Runs = runs
+	cfg.Seed = seed
+	accClean := core.EvalClean(net, test, cfg.Batch)
+	rep, err := core.Stability(bg, net, test, accClean, rates, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantBody, err := json.Marshal(NewStabilityResponse(seed, runs, rep))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := string(wantBody) + "\n"
+
+	body, _ := json.Marshal(StabilityRequest{Rates: rates, Runs: runs, Seed: ptr(seed)})
+	const concurrency = 8
+	bodies := make([]string, concurrency)
+	var wg sync.WaitGroup
+	for i := 0; i < concurrency; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			rec := postJSON(h, "/v1/stability", body)
+			if rec.Code != http.StatusOK {
+				bodies[i] = "HTTP " + rec.Result().Status + ": " + rec.Body.String()
+				return
+			}
+			bodies[i] = rec.Body.String()
+		}(i)
+	}
+	wg.Wait()
+	for i, got := range bodies {
+		if got != want {
+			t.Fatalf("response %d diverges from the direct engine call\n got: %s\nwant: %s", i, got, want)
+		}
+	}
+
+	// The rate-0 row injects nothing, so its defect accuracy equals
+	// the clean accuracy and SS must be the null (+Inf) encoding.
+	var resp StabilityResponse
+	if err := json.Unmarshal([]byte(bodies[0]), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Results[0].SS != nil {
+		t.Fatalf("rate-0 SS = %v, want null (+Inf)", *resp.Results[0].SS)
+	}
+	if resp.Scenario != "" {
+		t.Fatalf("scenario echoed as %q for a request that omitted it", resp.Scenario)
+	}
+}
+
+// TestServedScenarioMatchesDirect pins that a request naming a fault
+// scenario evaluates under exactly that scenario (byte-identical to a
+// direct engine call with the parsed scenario) and that the response
+// echoes the canonical spec, not the client's shorthand.
+func TestServedScenarioMatchesDirect(t *testing.T) {
+	evalBase := core.DefectEval{Runs: 3, Batch: 16, Seed: 2024, Workers: 2}
+	s, net, test := newTestServer(t, Config{Eval: evalBase, MaxEvalRates: 8})
+	h := s.Handler()
+	rates := []float64{0.05, 0.1}
+
+	for _, spec := range []string{"transient", "cluster:len=4", "drop"} {
+		t.Run(spec, func(t *testing.T) {
+			sc := fault.MustParse(spec)
+			cfg := evalBase.Normalize()
+			cfg.Scenario = sc
+
+			sums, err := core.EvalDefectSweep(bg, net, test, rates, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			wantResp := NewDefectEvalResponse(cfg.Seed, cfg.Runs, rates, sums)
+			wantResp.Scenario = sc.Spec()
+			wantBody, _ := json.Marshal(wantResp)
+
+			body, _ := json.Marshal(DefectEvalRequest{Rates: rates, Scenario: spec})
+			rec := postJSON(h, "/v1/defect-eval", body)
+			if rec.Code != http.StatusOK {
+				t.Fatalf("HTTP %d: %s", rec.Code, rec.Body)
+			}
+			if got, want := rec.Body.String(), string(wantBody)+"\n"; got != want {
+				t.Fatalf("scenario %q diverges from direct call:\n got: %s\nwant: %s", spec, got, want)
+			}
+
+			// Same contract on the stability endpoint.
+			accClean := core.EvalClean(net, test, cfg.Batch)
+			rep, err := core.Stability(bg, net, test, accClean, rates, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			wantStab := NewStabilityResponse(cfg.Seed, cfg.Runs, rep)
+			wantStab.Scenario = sc.Spec()
+			wantStabBody, _ := json.Marshal(wantStab)
+
+			body, _ = json.Marshal(StabilityRequest{Rates: rates, Scenario: spec})
+			rec = postJSON(h, "/v1/stability", body)
+			if rec.Code != http.StatusOK {
+				t.Fatalf("stability HTTP %d: %s", rec.Code, rec.Body)
+			}
+			if got, want := rec.Body.String(), string(wantStabBody)+"\n"; got != want {
+				t.Fatalf("stability scenario %q diverges from direct call:\n got: %s\nwant: %s", spec, got, want)
+			}
+		})
+	}
+}
+
+// TestLegacyDefectEvalBodyUnchanged pins backward compatibility: a
+// pre-scenario request body must produce a response with no scenario
+// key at all — byte-identical to what the endpoint returned before the
+// field existed.
+func TestLegacyDefectEvalBodyUnchanged(t *testing.T) {
+	evalBase := core.DefectEval{Runs: 2, Batch: 16, Seed: 7, Workers: 1}
+	s, _, _ := newTestServer(t, Config{Eval: evalBase})
+	rec := postJSON(s.Handler(), "/v1/defect-eval", []byte(`{"rates":[0.05],"runs":1}`))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("HTTP %d: %s", rec.Code, rec.Body)
+	}
+	if strings.Contains(rec.Body.String(), "scenario") {
+		t.Fatalf("legacy request got a scenario field in the response: %s", rec.Body)
+	}
+}
+
+func TestStabilityValidation(t *testing.T) {
+	s, _, _ := newTestServer(t, Config{MaxEvalRuns: 4, MaxEvalRates: 3})
+	h := s.Handler()
+	cases := []struct {
+		name string
+		body string
+	}{
+		{"no rates", `{}`},
+		{"empty rates", `{"rates":[]}`},
+		{"rate above one", `{"rates":[1.5]}`},
+		{"negative rate", `{"rates":[-0.1]}`},
+		{"too many rates", `{"rates":[0.1,0.2,0.3,0.4]}`},
+		{"too many runs", `{"rates":[0.1],"runs":5}`},
+		{"negative runs", `{"rates":[0.1],"runs":-1}`},
+		{"negative batch", `{"rates":[0.1],"batch":-8}`},
+		{"unknown field", `{"rates":[0.1],"workers":4}`},
+		{"unknown scenario", `{"rates":[0.1],"scenario":"nope"}`},
+		{"malformed scenario", `{"rates":[0.1],"scenario":"chen:r0"}`},
+		{"bad scenario param", `{"rates":[0.1],"scenario":"cluster:len=0"}`},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			for _, path := range []string{"/v1/stability", "/v1/defect-eval"} {
+				rec := postJSON(h, path, []byte(tc.body))
+				if rec.Code != http.StatusBadRequest {
+					t.Fatalf("%s: HTTP %d, want 400: %s", path, rec.Code, rec.Body)
+				}
+				var er ErrorResponse
+				if err := json.Unmarshal(rec.Body.Bytes(), &er); err != nil || er.Error.Code == "" {
+					t.Fatalf("%s: missing error envelope: %s", path, rec.Body)
+				}
+			}
+		})
+	}
+}
+
+// TestStabilitySharesEvalSemaphore pins that /v1/stability draws from
+// the same admission pool as /v1/defect-eval, so the combined
+// Monte-Carlo concurrency stays capped.
+func TestStabilitySharesEvalSemaphore(t *testing.T) {
+	s, _, _ := newTestServer(t, Config{EvalConcurrency: 1})
+	s.evals <- struct{}{} // occupy the only slot
+	rec := postJSON(s.Handler(), "/v1/stability", []byte(`{"rates":[0.01],"runs":1}`))
+	if rec.Code != http.StatusTooManyRequests {
+		t.Fatalf("HTTP %d, want 429: %s", rec.Code, rec.Body)
+	}
+	if ra := rec.Header().Get("Retry-After"); ra == "" {
+		t.Fatal("429 without Retry-After")
+	}
+	<-s.evals
+	rec = postJSON(s.Handler(), "/v1/stability", []byte(`{"rates":[0.01],"runs":1}`))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("after release: HTTP %d: %s", rec.Code, rec.Body)
+	}
+}
