@@ -13,6 +13,9 @@
 //	ftpim serve  [-addr HOST:PORT] [-max-batch N] [-batch-window D] [-queue N]
 //	             [-executors N] [-loadtest [-lt-clients N] [-lt-requests N]
 //	             [-bench-out FILE]]
+//	ftpim coordinator [-addr HOST:PORT] [-dist-lease N] [-dist-lease-ttl D]
+//	             [-dist-fallback-after D] [-runs N] [-checkpoint DIR [-resume]]
+//	ftpim worker -connect HOST:PORT [-worker-id ID] [-dist-slow-ms N]
 //
 // The default preset ("repro") is the scaled-down reproduction
 // described in DESIGN.md; "paper" runs the full-scale protocol (slow);
@@ -50,6 +53,19 @@
 // the process instead drives an in-process load test against its own
 // handler and reports p50/p99 latency and throughput (optionally
 // recorded to -bench-out as JSON).
+//
+// coordinator/worker distribute a defect sweep across processes: the
+// coordinator shards each rate's Monte-Carlo runs into leases and
+// serves them over TCP; workers rebuild the identical model from the
+// job's preset+dataset (training is deterministic) and stream per-run
+// accuracies back. The folded table is byte-identical to the
+// single-process sweep at any worker count and under any worker kill
+// schedule: a worker that dies or stalls past -dist-lease-ttl has its
+// leases re-issued, a pool that stays empty past -dist-fallback-after
+// degrades to in-process evaluation, and SIGTERM drains cleanly
+// (completed rates are rendered, exit 0). With -checkpoint DIR the
+// coordinator snapshots folded results after every lease and a
+// restart with -resume continues where it left off.
 //
 // -checkpoint DIR enables crash-safe checkpointing: every training run
 // snapshots its full state (weights, optimizer velocity, BN statistics,
@@ -138,6 +154,17 @@ func run() int {
 		"serve -loadtest: mix in one defect-eval per client every N infer requests (0 = none)")
 	benchOut := fs.String("bench-out", "",
 		"serve -loadtest: write the load-test record (JSON) to FILE")
+	connect := fs.String("connect", "", "worker: coordinator address (HOST:PORT)")
+	workerID := fs.String("worker-id", "", "worker: pool id (default: host-pid)")
+	distLease := fs.Int("dist-lease", 8, "coordinator: Monte-Carlo runs per lease")
+	distLeaseTTL := fs.Duration("dist-lease-ttl", 10*time.Second,
+		"coordinator: lease heartbeat deadline; a silent lease is re-issued after this")
+	distFallback := fs.Duration("dist-fallback-after", 3*time.Second,
+		"coordinator: how long the worker pool may be empty before leases run in-process")
+	distRuns := fs.Int("runs", 0,
+		"coordinator: override the preset's Monte-Carlo runs per rate (0 = preset default)")
+	distSlowMs := fs.Int("dist-slow-ms", 0,
+		"worker: artificial delay per lease in milliseconds (failover testing aid)")
 
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -172,6 +199,15 @@ func run() int {
 	}
 	if *loadtest && (*ltClients < 1 || *ltRequests < 1) {
 		return usageErr("-lt-clients and -lt-requests must be >= 1")
+	}
+	if *distLease < 1 {
+		return usageErr("-dist-lease must be >= 1, got %d", *distLease)
+	}
+	if *distLeaseTTL <= 0 || *distFallback <= 0 {
+		return usageErr("-dist-lease-ttl and -dist-fallback-after must be positive")
+	}
+	if *distRuns < 0 || *distSlowMs < 0 {
+		return usageErr("-runs and -dist-slow-ms must be >= 0")
 	}
 	var scenario fault.Scenario
 	if *faultSpec != "" {
@@ -265,6 +301,15 @@ func run() int {
 			queue: *queueDepth, executors: *executors,
 			loadtest: *loadtest, ltClients: *ltClients, ltRequests: *ltRequests,
 			ltEvalEvery: *ltEvalEvery, benchOut: *benchOut,
+		})
+	case "coordinator":
+		err = runCoordinator(ctx, env, *dataset, distOpts{
+			addr: *addr, leaseRuns: *distLease, leaseTTL: *distLeaseTTL,
+			fallbackAfter: *distFallback, runs: *distRuns,
+		})
+	case "worker":
+		err = runWorker(ctx, env, distOpts{
+			connect: *connect, workerID: *workerID, slowMs: *distSlowMs,
 		})
 	case "help", "-h", "--help":
 		usage()
@@ -607,6 +652,13 @@ commands:
             micro-batching (-addr, -max-batch, -batch-window, -queue,
             -executors; -loadtest for an in-process load test with
             -lt-clients/-lt-requests/-bench-out)
+  coordinator  shard the defect sweep over TCP workers with lease-based
+            failover (-addr, -dist-lease, -dist-lease-ttl,
+            -dist-fallback-after, -runs; -checkpoint/-resume for
+            restartable sweeps); byte-identical to the single-process
+            sweep at any worker count
+  worker    join a coordinator's pool (-connect HOST:PORT, -worker-id,
+            -dist-slow-ms); dials with jittered exponential backoff
 
 common flags: -preset smoke|quick|repro|paper   -cache DIR   -dataset c10|c100|both
               -workers N   -events FILE (JSONL run events)   -v=false (quiet)

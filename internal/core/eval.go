@@ -2,6 +2,7 @@ package core
 
 import (
 	"context"
+	"fmt"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -361,6 +362,114 @@ dispatch:
 	return metrics.Summarize(accs), nil
 }
 
+// RateSeed derives the Monte-Carlo seed of rate index i in a sweep:
+// every rate keeps an independent positional stream, and the offset is
+// part of the determinism contract — a distributed coordinator hands
+// RateSeed(i) to workers so their draws match EvalDefectSweep exactly.
+func (d DefectEval) RateSeed(i int) uint64 {
+	return d.Seed + uint64(i)*7_919
+}
+
+// EvalDefectRuns evaluates the contiguous Monte-Carlo run range
+// [start, end) at rate psa and returns the per-run accuracies in run
+// order (index 0 is run `start`). Run r draws its faults from
+// fault.RunRNG(cfg.Seed, r) — position alone — so any partition of
+// [0, cfg.Runs) into ranges, evaluated by any mix of processes, folds
+// back into the exact value sequence EvalDefect produces in one
+// process. This is the worker-side primitive of the distributed
+// defect-eval layer (internal/dist); cfg.Seed should be the sweep's
+// RateSeed for the rate being sharded.
+//
+// At psa == 0 there is no stochasticity and every run yields the same
+// single clean pass, mirroring EvalDefect's rate-zero short-circuit.
+// The network's weights are identical before and after the call. On
+// cancellation the error is ctx's and the slice is nil.
+func EvalDefectRuns(ctx context.Context, net *nn.Network, ds *data.Dataset, psa float64, start, end int, cfg DefectEval) ([]float64, error) {
+	if start < 0 || end < start {
+		return nil, fmt.Errorf("core: invalid run range [%d, %d)", start, end)
+	}
+	cfg = cfg.Normalize()
+	n := end - start
+	if n == 0 {
+		return nil, ctx.Err()
+	}
+	sink := cfg.Sink
+	tStart := time.Now()
+	accs := make([]float64, n)
+	if psa == 0 {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		acc := metrics.Evaluate(net, ds, cfg.Batch)
+		for i := range accs {
+			accs[i] = acc
+		}
+		if sink.Enabled() {
+			sink.Emit(obs.Event{Kind: obs.KindEvalRun, Run: start + 1, Rate: 0, Acc: acc})
+			sink.Emit(obs.Event{Kind: obs.KindTiming, Phase: "eval", Seconds: time.Since(tStart).Seconds(), N: n})
+		}
+		return accs, nil
+	}
+	if w := cfg.Workers; w > 1 && n > 1 {
+		if w > n {
+			w = n
+		}
+		jobs := make(chan int)
+		var wg sync.WaitGroup
+		for i := 0; i < w; i++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				e := &CloneEntry{Net: net.Clone()}
+				inj := e.InjectorFor(cfg.Scenario)
+				hook := newStepHook(cfg.Scenario, inj, cfg.Seed, psa)
+				for run := range jobs {
+					if ctx.Err() != nil {
+						continue // drain without evaluating
+					}
+					acc := evalRun(e.Net, ds, cfg, inj, hook, run, psa)
+					accs[run-start] = acc
+					if sink.Enabled() {
+						sink.Emit(obs.Event{Kind: obs.KindEvalRun, Run: run + 1, Rate: psa, Acc: acc})
+					}
+				}
+			}()
+		}
+	dispatch:
+		for run := start; run < end; run++ {
+			select {
+			case jobs <- run:
+			case <-ctx.Done():
+				break dispatch
+			}
+		}
+		close(jobs)
+		wg.Wait()
+	} else {
+		// Serial path: inject into the live network, evaluate, undo —
+		// exactly the EvalDefect reference loop over a sub-range.
+		inj := cfg.Scenario.NewInjector(WeightTensors(net))
+		hook := newStepHook(cfg.Scenario, inj, cfg.Seed, psa)
+		for run := start; run < end; run++ {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+			acc := evalRun(net, ds, cfg, inj, hook, run, psa)
+			accs[run-start] = acc
+			if sink.Enabled() {
+				sink.Emit(obs.Event{Kind: obs.KindEvalRun, Run: run + 1, Rate: psa, Acc: acc})
+			}
+		}
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	if sink.Enabled() {
+		sink.Emit(obs.Event{Kind: obs.KindTiming, Phase: "eval", Seconds: time.Since(tStart).Seconds(), N: n})
+	}
+	return accs, nil
+}
+
 // EvalDefectSweep evaluates the model across a list of testing fault
 // rates, returning mean defect accuracy per rate — one Table I row.
 // Each rate's Monte-Carlo loop is parallelized by EvalDefect (rates
@@ -382,7 +491,7 @@ func EvalDefectSweep(ctx context.Context, net *nn.Network, ds *data.Dataset, rat
 	out := make([]metrics.Summary, 0, len(rates))
 	for i, r := range rates {
 		c := cfg
-		c.Seed = cfg.Seed + uint64(i)*7_919
+		c.Seed = cfg.RateSeed(i)
 		s, err := evalDefect(ctx, net, ds, r, c, pool)
 		if err != nil {
 			return out, err

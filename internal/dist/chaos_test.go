@@ -1,0 +1,192 @@
+//go:build unix
+
+// Chaos suite: real worker processes, real signals. One worker is
+// SIGKILLed while it holds a lease (dead-worker path: connection
+// error → immediate re-issue), another is SIGSTOPped past the
+// heartbeat deadline (stalled-worker path: monitor re-issue), and the
+// folded sweep must still be exactly the single-process oracle.
+package dist_test
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"os"
+	"os/exec"
+	"reflect"
+	"strconv"
+	"syscall"
+	"testing"
+	"time"
+
+	"github.com/ftpim/ftpim/internal/dist"
+	"github.com/ftpim/ftpim/internal/obs"
+)
+
+// TestDistWorkerProcess is the helper-process body, not a test: the
+// chaos test re-executes its own binary with DIST_WORKER_ADDR set,
+// and this function becomes a real worker process that can be killed
+// or stopped without taking the test down with it.
+func TestDistWorkerProcess(t *testing.T) {
+	addr := os.Getenv("DIST_WORKER_ADDR")
+	if addr == "" {
+		t.Skip("helper process body; set DIST_WORKER_ADDR to run")
+	}
+	slow := time.Duration(0)
+	if ms, err := strconv.Atoi(os.Getenv("DIST_WORKER_SLOW_MS")); err == nil && ms > 0 {
+		slow = time.Duration(ms) * time.Millisecond
+	}
+	inner := evalFunc(t)
+	fn := func(ctx context.Context, l dist.Lease) ([]float64, error) {
+		if slow > 0 {
+			// Stretch each lease so the parent has a window to deliver
+			// signals mid-evaluation.
+			select {
+			case <-time.After(slow):
+			case <-ctx.Done():
+				return nil, ctx.Err()
+			}
+		}
+		return inner(ctx, l)
+	}
+	cfg := workerCfg(t, os.Getenv("DIST_WORKER_ID"), addr, fn)
+	if err := dist.RunWorker(context.Background(), cfg); err != nil {
+		t.Fatalf("worker: %v", err)
+	}
+}
+
+// spawnWorker launches this test binary as a real worker process.
+func spawnWorker(t *testing.T, id, addr string, slow time.Duration) *exec.Cmd {
+	t.Helper()
+	cmd := exec.Command(os.Args[0], "-test.run=^TestDistWorkerProcess$", "-test.count=1")
+	cmd.Env = append(os.Environ(),
+		"DIST_WORKER_ADDR="+addr,
+		"DIST_WORKER_ID="+id,
+		fmt.Sprintf("DIST_WORKER_SLOW_MS=%d", slow.Milliseconds()),
+	)
+	cmd.Stdout = os.Stderr
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		t.Fatalf("spawn worker %s: %v", id, err)
+	}
+	return cmd
+}
+
+// leaseHolder polls Stats until some live worker holds a lease,
+// returning its id and pid. Workers in `exclude` are ignored.
+func leaseHolder(t *testing.T, co *dist.Coordinator, exclude map[string]bool, deadline time.Duration) (string, int) {
+	t.Helper()
+	stop := time.Now().Add(deadline)
+	for time.Now().Before(stop) {
+		s := co.Stats()
+		for id, n := range s.LeasesByWorker {
+			if n > 0 && !exclude[id] {
+				if pid := s.PIDByWorker[id]; pid > 0 {
+					return id, pid
+				}
+			}
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatalf("no worker took a lease within %v (stats %+v)", deadline, co.Stats())
+	return "", 0
+}
+
+// TestChaosKillAndStall is the headline fault-tolerance test: three
+// real worker processes; one dies by SIGKILL while holding a lease,
+// one stalls under SIGSTOP past its heartbeat deadline; the survivor
+// finishes the sweep and the result is byte-identical to the
+// single-process oracle.
+func TestChaosKillAndStall(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns real processes; skipped in -short")
+	}
+	want := oracle(t)
+	rec := &obs.Recorder{}
+	cfg := baseConfig(rec)
+	cfg.LeaseRuns = 1 // many small leases: plenty of mid-lease windows
+	cfg.LeaseTTL = time.Second
+	ctx := context.Background()
+	co, addr, wait := startCoordinator(t, ctx, cfg)
+
+	const slow = 300 * time.Millisecond
+	procs := map[string]*exec.Cmd{}
+	for i := 0; i < 3; i++ {
+		id := fmt.Sprintf("chaos-%d", i)
+		procs[id] = spawnWorker(t, id, addr, slow)
+	}
+	t.Cleanup(func() {
+		for _, cmd := range procs {
+			if cmd.Process != nil {
+				cmd.Process.Signal(syscall.SIGCONT)
+				cmd.Process.Kill()
+				cmd.Wait()
+			}
+		}
+	})
+
+	// Victim 1: SIGKILL while it holds a lease. The broken connection
+	// re-queues its leases immediately.
+	exclude := map[string]bool{}
+	killID, killPID := leaseHolder(t, co, exclude, 30*time.Second)
+	if err := syscall.Kill(killPID, syscall.SIGKILL); err != nil {
+		t.Fatalf("SIGKILL %s (pid %d): %v", killID, killPID, err)
+	}
+	exclude[killID] = true
+
+	// Victim 2: SIGSTOP past the heartbeat deadline. The monitor must
+	// re-issue its lease without the connection ever erroring.
+	stallID, stallPID := leaseHolder(t, co, exclude, 30*time.Second)
+	if err := syscall.Kill(stallPID, syscall.SIGSTOP); err != nil {
+		t.Fatalf("SIGSTOP %s (pid %d): %v", stallID, stallPID, err)
+	}
+	exclude[stallID] = true
+
+	got, err := wait()
+	if err != nil {
+		t.Fatalf("Serve: %v", err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("chaos sweep diverged from oracle:\n got %+v\nwant %+v", got, want)
+	}
+	if n := rec.Count(obs.KindDistWorkerLost); n == 0 {
+		t.Fatal("no dist.worker.lost events after a SIGKILL")
+	}
+	if n := rec.Count(obs.KindDistReissue); n == 0 {
+		t.Fatal("no dist.reissue events after kill + stall")
+	}
+	// The stalled worker specifically must have triggered a re-issue
+	// (by missed heartbeat or by its connection timing out).
+	found := false
+	for _, e := range rec.Events() {
+		if e.Kind == obs.KindDistReissue && e.Key == stallID {
+			found = true
+			break
+		}
+	}
+	if !found {
+		t.Fatalf("no re-issue recorded for the stalled worker %s", stallID)
+	}
+
+	// The survivor should exit cleanly once the sweep broadcasts done.
+	syscall.Kill(stallPID, syscall.SIGCONT)
+	for id, cmd := range procs {
+		if exclude[id] {
+			continue
+		}
+		done := make(chan error, 1)
+		go func() { done <- cmd.Wait() }()
+		select {
+		case werr := <-done:
+			var exit *exec.ExitError
+			if werr != nil && !errors.As(werr, &exit) {
+				t.Fatalf("surviving worker %s: %v", id, werr)
+			}
+			if werr != nil {
+				t.Fatalf("surviving worker %s exited non-zero: %v", id, werr)
+			}
+		case <-time.After(30 * time.Second):
+			t.Fatalf("surviving worker %s did not exit after done", id)
+		}
+	}
+}

@@ -1,0 +1,387 @@
+// Determinism and failover suite for the distributed defect-eval
+// layer. The oracle everywhere is single-process core.EvalDefectSweep:
+// whatever the pool does — any worker count, errors, restarts — the
+// folded summaries must be exactly (bitwise) the oracle's.
+package dist_test
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"reflect"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"github.com/ftpim/ftpim/internal/ckpt"
+	"github.com/ftpim/ftpim/internal/core"
+	"github.com/ftpim/ftpim/internal/data"
+	"github.com/ftpim/ftpim/internal/dist"
+	"github.com/ftpim/ftpim/internal/dist/backoff"
+	"github.com/ftpim/ftpim/internal/experiments"
+	"github.com/ftpim/ftpim/internal/metrics"
+	"github.com/ftpim/ftpim/internal/models"
+	"github.com/ftpim/ftpim/internal/nn"
+	"github.com/ftpim/ftpim/internal/obs"
+)
+
+var testRates = []float64{0, 0.02, 0.1}
+
+// fixture builds the smoke-scale model and test set deterministically
+// from seeds — every call (in any process) yields identical weights,
+// which is exactly how real workers reconstruct the coordinator's
+// model from a Job.
+func fixture(t testing.TB) (*nn.Network, *data.Dataset) {
+	t.Helper()
+	s := experiments.ScaleFor("smoke")
+	net := models.BuildResNet(models.ResNetConfig{
+		Depth: s.DepthC10, Classes: s.C10.Classes, InChannels: 3,
+		WidthMult: s.Width, Seed: s.Seed,
+	})
+	_, test := data.Generate(s.C10)
+	return net, test
+}
+
+func evalCfg() core.DefectEval {
+	return core.DefectEval{Runs: 6, Batch: 32, Seed: 42, Workers: 2}
+}
+
+// oracle computes the single-process reference sweep.
+func oracle(t testing.TB) []metrics.Summary {
+	t.Helper()
+	net, test := fixture(t)
+	want, err := core.EvalDefectSweep(context.Background(), net, test, testRates, evalCfg())
+	if err != nil {
+		t.Fatalf("oracle sweep: %v", err)
+	}
+	return want
+}
+
+// evalFunc builds the worker-side evaluator over its own model copy.
+func evalFunc(t testing.TB) dist.EvalFunc {
+	t.Helper()
+	net, test := fixture(t)
+	return func(ctx context.Context, l dist.Lease) ([]float64, error) {
+		cfg := evalCfg()
+		cfg.Seed = l.Seed
+		return core.EvalDefectRuns(ctx, net, test, l.Rate, l.Start, l.End, cfg)
+	}
+}
+
+// baseConfig is the test coordinator config: small leases so every
+// sweep exercises multiple assignments, short timings so failover
+// paths run in test time.
+func baseConfig(sink obs.Sink) dist.Config {
+	return dist.Config{
+		LeaseRuns:     2,
+		LeaseTTL:      2 * time.Second,
+		FallbackAfter: time.Hour, // tests opt in to fallback explicitly
+		DoneLinger:    50 * time.Millisecond,
+		DrainGrace:    2 * time.Second,
+		RetryHint:     5 * time.Millisecond,
+		Eval:          evalCfg(),
+		Rates:         testRates,
+		Job:           dist.Job{Preset: "smoke", Dataset: "cifar10"},
+		Sink:          sink,
+	}
+}
+
+// startCoordinator serves cfg on a loopback listener and returns the
+// address plus a wait() that joins Serve's result.
+func startCoordinator(t *testing.T, ctx context.Context, cfg dist.Config) (*dist.Coordinator, string, func() ([]metrics.Summary, error)) {
+	t.Helper()
+	c, err := dist.New(cfg)
+	if err != nil {
+		t.Fatalf("dist.New: %v", err)
+	}
+	lis, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	type res struct {
+		sums []metrics.Summary
+		err  error
+	}
+	ch := make(chan res, 1)
+	go func() {
+		sums, err := c.Serve(ctx, lis)
+		ch <- res{sums, err}
+	}()
+	return c, lis.Addr().String(), func() ([]metrics.Summary, error) {
+		select {
+		case r := <-ch:
+			return r.sums, r.err
+		case <-time.After(2 * time.Minute):
+			t.Fatal("coordinator did not finish within 2 minutes")
+			return nil, nil
+		}
+	}
+}
+
+// workerCfg is the in-process worker config dialing addr.
+func workerCfg(t testing.TB, id, addr string, fn dist.EvalFunc) dist.WorkerConfig {
+	return dist.WorkerConfig{
+		Addr:            addr,
+		ID:              id,
+		Dial:            backoff.Policy{Base: 10 * time.Millisecond, Max: 200 * time.Millisecond, Attempts: 20},
+		ReconnectWindow: 500 * time.Millisecond,
+		Setup: func(ctx context.Context, job dist.Job) (dist.EvalFunc, error) {
+			return fn, nil
+		},
+	}
+}
+
+// TestDistDeterminism pins the headline guarantee: the distributed
+// sweep is exactly equal to single-process EvalDefectSweep at worker
+// counts 1, 2 and 4.
+func TestDistDeterminism(t *testing.T) {
+	want := oracle(t)
+	for _, workers := range []int{1, 2, 4} {
+		t.Run(fmt.Sprintf("workers=%d", workers), func(t *testing.T) {
+			ctx := context.Background()
+			_, addr, wait := startCoordinator(t, ctx, baseConfig(nil))
+			var wg sync.WaitGroup
+			for w := 0; w < workers; w++ {
+				wg.Add(1)
+				go func(id int) {
+					defer wg.Done()
+					cfg := workerCfg(t, fmt.Sprintf("w%d", id), addr, evalFunc(t))
+					if err := dist.RunWorker(ctx, cfg); err != nil {
+						t.Errorf("worker %d: %v", id, err)
+					}
+				}(w)
+			}
+			got, err := wait()
+			if err != nil {
+				t.Fatalf("Serve: %v", err)
+			}
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("distributed sweep diverged from oracle:\n got %+v\nwant %+v", got, want)
+			}
+			wg.Wait()
+		})
+	}
+}
+
+// TestZeroWorkerFallback pins the degradation floor: with no worker
+// ever joining, the coordinator runs every lease in-process and still
+// produces the oracle sweep, emitting dist.fallback events.
+func TestZeroWorkerFallback(t *testing.T) {
+	want := oracle(t)
+	rec := &obs.Recorder{}
+	cfg := baseConfig(rec)
+	cfg.FallbackAfter = 10 * time.Millisecond
+	local := evalFunc(t)
+	cfg.Local = dist.LocalFunc(local)
+	_, _, wait := startCoordinator(t, context.Background(), cfg)
+	got, err := wait()
+	if err != nil {
+		t.Fatalf("Serve: %v", err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("fallback sweep diverged from oracle:\n got %+v\nwant %+v", got, want)
+	}
+	if n := rec.Count(obs.KindDistFallback); n == 0 {
+		t.Fatal("no dist.fallback events emitted")
+	}
+}
+
+// TestLateWorkersFallBack covers the pool dying mid-sweep: one worker
+// joins, evaluates a bit, exits (simulated by a context cancel);
+// in-process fallback finishes the remainder and the folded sweep
+// still matches the oracle.
+func TestWorkerDeathFallsBackToLocal(t *testing.T) {
+	want := oracle(t)
+	rec := &obs.Recorder{}
+	cfg := baseConfig(rec)
+	cfg.FallbackAfter = 50 * time.Millisecond
+	cfg.Local = dist.LocalFunc(evalFunc(t))
+	ctx := context.Background()
+	co, addr, wait := startCoordinator(t, ctx, cfg)
+
+	// Worker that abandons the sweep after its first completed lease.
+	wctx, wcancel := context.WithCancel(ctx)
+	inner := evalFunc(t)
+	var leases atomic.Int64
+	fn := func(ctx context.Context, l dist.Lease) ([]float64, error) {
+		accs, err := inner(ctx, l)
+		if leases.Add(1) == 1 {
+			// Quit after this result lands: RunWorker sees the cancel
+			// on its next lease request.
+			go wcancel()
+			time.Sleep(10 * time.Millisecond)
+		}
+		return accs, err
+	}
+	err := dist.RunWorker(wctx, workerCfg(t, "mortal", addr, fn))
+	if err != nil && !errors.Is(err, context.Canceled) {
+		t.Fatalf("worker: %v", err)
+	}
+
+	got, err := wait()
+	if err != nil {
+		t.Fatalf("Serve: %v", err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("sweep diverged after worker death:\n got %+v\nwant %+v", got, want)
+	}
+	if s := co.Stats(); s.FoldedRuns != s.TotalRuns {
+		t.Fatalf("stats: %d/%d runs folded", s.FoldedRuns, s.TotalRuns)
+	}
+	_ = rec
+}
+
+// TestEvalErrorReissue pins lease re-issue on worker-reported errors:
+// a worker whose evaluator fails its first two calls surrenders those
+// leases, the coordinator re-issues them (dist.reissue), and the
+// final sweep is still the oracle's.
+func TestEvalErrorReissue(t *testing.T) {
+	want := oracle(t)
+	rec := &obs.Recorder{}
+	ctx := context.Background()
+	_, addr, wait := startCoordinator(t, ctx, baseConfig(rec))
+	inner := evalFunc(t)
+	var calls atomic.Int64
+	fn := func(ctx context.Context, l dist.Lease) ([]float64, error) {
+		if calls.Add(1) <= 2 {
+			return nil, errors.New("synthetic transient failure")
+		}
+		return inner(ctx, l)
+	}
+	if err := dist.RunWorker(ctx, workerCfg(t, "flaky", addr, fn)); err != nil {
+		t.Fatalf("worker: %v", err)
+	}
+	got, err := wait()
+	if err != nil {
+		t.Fatalf("Serve: %v", err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("sweep diverged after eval errors:\n got %+v\nwant %+v", got, want)
+	}
+	if n := rec.Count(obs.KindDistReissue); n < 2 {
+		t.Fatalf("dist.reissue events = %d, want >= 2", n)
+	}
+}
+
+// TestPersistentFailureFailsSweep pins the attempt cap: a lease that
+// fails on every attempt (and no local fallback) fails the sweep
+// instead of hanging it.
+func TestPersistentFailureFailsSweep(t *testing.T) {
+	cfg := baseConfig(nil)
+	cfg.MaxLeaseAttempts = 3
+	ctx := context.Background()
+	_, addr, wait := startCoordinator(t, ctx, cfg)
+	fn := func(ctx context.Context, l dist.Lease) ([]float64, error) {
+		return nil, errors.New("permanently broken")
+	}
+	werr := make(chan error, 1)
+	go func() { werr <- dist.RunWorker(ctx, workerCfg(t, "broken", addr, fn)) }()
+	_, err := wait()
+	if err == nil {
+		t.Fatal("sweep succeeded with a permanently failing lease")
+	}
+	select {
+	case <-werr:
+	case <-time.After(10 * time.Second):
+		t.Fatal("worker did not exit after sweep failure")
+	}
+}
+
+// TestDrainOnCancel pins graceful degradation under SIGTERM-style
+// cancellation: assignment stops, and Serve returns the completed
+// rate prefix with ctx's error — each returned summary exactly equal
+// to the oracle's.
+func TestDrainOnCancel(t *testing.T) {
+	want := oracle(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	cfg := baseConfig(nil)
+	_, addr, wait := startCoordinator(t, ctx, cfg)
+	inner := evalFunc(t)
+	var folded atomic.Int64
+	fn := func(c context.Context, l dist.Lease) ([]float64, error) {
+		accs, err := inner(c, l)
+		if folded.Add(1) == 2 {
+			cancel() // cancel mid-sweep, after some results landed
+		}
+		return accs, err
+	}
+	go dist.RunWorker(ctx, workerCfg(t, "w0", addr, fn))
+	got, err := wait()
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("Serve err = %v, want context.Canceled", err)
+	}
+	if len(got) > len(want) {
+		t.Fatalf("partial result has %d rates, sweep only has %d", len(got), len(want))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("partial rate %d diverged: %+v != %+v", i, got[i], want[i])
+		}
+	}
+}
+
+// TestCkptRestart pins coordinator crash recovery: a first coordinator
+// folds part of the sweep and is cancelled; a second one on the same
+// checkpoint run restores the folded prefix (Stats().Restored > 0)
+// and finishes, matching the oracle exactly.
+func TestCkptRestart(t *testing.T) {
+	want := oracle(t)
+	dir := t.TempDir()
+
+	ctx1, cancel1 := context.WithCancel(context.Background())
+	cfg1 := baseConfig(nil)
+	cfg1.Ckpt = ckpt.NewStore(dir, 100, false, nil).Run("dist")
+	_, addr, wait1 := startCoordinator(t, ctx1, cfg1)
+	inner := evalFunc(t)
+	var folded atomic.Int64
+	fn := func(c context.Context, l dist.Lease) ([]float64, error) {
+		accs, err := inner(c, l)
+		if folded.Add(1) == 2 {
+			cancel1()
+		}
+		return accs, err
+	}
+	go dist.RunWorker(ctx1, workerCfg(t, "w0", addr, fn))
+	if _, err := wait1(); !errors.Is(err, context.Canceled) {
+		t.Fatalf("first coordinator err = %v, want context.Canceled", err)
+	}
+
+	cfg2 := baseConfig(nil)
+	cfg2.Ckpt = ckpt.NewStore(dir, 100, true, nil).Run("dist")
+	ctx2 := context.Background()
+	co2, addr2, wait2 := startCoordinator(t, ctx2, cfg2)
+	if s := co2.Stats(); s.Restored == 0 {
+		t.Fatal("restarted coordinator restored nothing from the checkpoint")
+	}
+	go dist.RunWorker(ctx2, workerCfg(t, "w1", addr2, evalFunc(t)))
+	got, err := wait2()
+	if err != nil {
+		t.Fatalf("second coordinator: %v", err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("resumed sweep diverged from oracle:\n got %+v\nwant %+v", got, want)
+	}
+}
+
+// TestWorkerNeverJoins pins the worker-side failure mode: dialing a
+// dead address exhausts the backoff attempts and returns an error
+// (rather than retrying forever).
+func TestWorkerNeverJoins(t *testing.T) {
+	lis, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	addr := lis.Addr().String()
+	lis.Close() // nothing listens here anymore
+	cfg := workerCfg(t, "orphan", addr, nil)
+	cfg.Dial.Attempts = 3
+	cfg.Setup = func(ctx context.Context, job dist.Job) (dist.EvalFunc, error) {
+		t.Error("Setup ran without a coordinator")
+		return nil, nil
+	}
+	if err := dist.RunWorker(context.Background(), cfg); err == nil {
+		t.Fatal("worker joined a dead address")
+	}
+}

@@ -1,0 +1,58 @@
+package dist
+
+// Fuzz target for the wire decoder: arbitrary bytes must yield a
+// clean error or a fully-validated message — never a panic. A
+// coordinator accepts TCP connections from anything that can reach
+// its port, so the decoder is the trust boundary.
+
+import (
+	"testing"
+)
+
+func FuzzDecodeMessage(f *testing.F) {
+	// Seed with every valid message shape plus near-miss corruptions.
+	seeds := []Message{
+		{Type: MsgHello, Worker: "w0", PID: 42},
+		{Type: MsgJob, Job: &Job{Preset: "smoke", Dataset: "cifar10",
+			Rates: []float64{0, 0.02, 0.1}, Runs: 6, Seed: 42, Batch: 32}},
+		{Type: MsgLeaseReq, Worker: "w0"},
+		{Type: MsgLease, Lease: &Lease{ID: 1, RateIndex: 0, Rate: 0.02, Seed: 7961, Start: 0, End: 2, TTLMs: 10_000}},
+		{Type: MsgNoLease, RetryMs: 100},
+		{Type: MsgHeartbeat, Worker: "w0", LeaseID: 1},
+		{Type: MsgResult, Worker: "w0", LeaseID: 1, Accs: []float64{0.5, 0.75}},
+		{Type: MsgDone},
+		{Type: MsgError, Err: "boom"},
+	}
+	for _, m := range seeds {
+		frame, err := EncodeMessage(m)
+		if err != nil {
+			f.Fatalf("seed %s: %v", m.Type, err)
+		}
+		f.Add(frame[4:])
+	}
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`{"v":1}`))
+	f.Add([]byte(`{"v":1,"type":"lease","lease":{"id":-1}}`))
+	f.Add([]byte(`{"v":1,"type":"result","lease_id":1,"accs":[1e308]}`))
+	f.Add([]byte(`not json at all`))
+	f.Add([]byte{0, 0, 0, 0})
+
+	f.Fuzz(func(t *testing.T, b []byte) {
+		m, err := DecodeMessage(b)
+		if err != nil {
+			return
+		}
+		// Anything the decoder accepts must satisfy its own validator —
+		// the state machines rely on that.
+		if m.V != ProtocolVersion {
+			t.Fatalf("accepted message with version %d", m.V)
+		}
+		if verr := m.validate(); verr != nil {
+			t.Fatalf("accepted message fails validate: %v (%+v)", verr, m)
+		}
+		// And must re-encode: accepted messages are relayable.
+		if _, err := EncodeMessage(m); err != nil {
+			t.Fatalf("accepted message does not re-encode: %v (%+v)", err, m)
+		}
+	})
+}

@@ -1,0 +1,278 @@
+package dist
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"os"
+	"time"
+
+	"github.com/ftpim/ftpim/internal/dist/backoff"
+	"github.com/ftpim/ftpim/internal/obs"
+)
+
+// EvalFunc evaluates one lease's Monte-Carlo run range and returns
+// its per-run accuracies (index 0 = the lease's Start run). It must
+// honor the positional-RNG contract — core.EvalDefectRuns does.
+type EvalFunc func(ctx context.Context, l Lease) ([]float64, error)
+
+// WorkerConfig tunes RunWorker.
+type WorkerConfig struct {
+	// Addr is the coordinator's host:port (required).
+	Addr string
+	// ID names this worker in the pool ("" → "host-pid"). Reconnects
+	// under the same ID evict the stale registration.
+	ID string
+	// Dial schedules connection attempts: jittered exponential backoff
+	// with capped attempts. Zero-valued fields take backoff defaults;
+	// Attempts <= 0 → 8 dial attempts per connection burst.
+	Dial backoff.Policy
+	// ReconnectWindow bounds how long the worker keeps re-dialing
+	// after losing an established session (<=0 → 30s). A coordinator
+	// that finished and exited is indistinguishable from a crashed
+	// one, so the worker gives up cleanly once the window closes.
+	ReconnectWindow time.Duration
+	// Setup resolves a Job into the evaluator for its leases —
+	// typically by training-or-loading the preset's model and wrapping
+	// core.EvalDefectRuns. Called once per distinct job (required).
+	Setup func(ctx context.Context, job Job) (EvalFunc, error)
+	// Sink receives log events (nil → obs.Null).
+	Sink obs.Sink
+}
+
+func (c WorkerConfig) normalize() (WorkerConfig, error) {
+	if c.Addr == "" {
+		return c, errors.New("dist: worker has no coordinator address")
+	}
+	if c.Setup == nil {
+		return c, errors.New("dist: worker has no Setup")
+	}
+	if c.ID == "" {
+		host, err := os.Hostname()
+		if err != nil || host == "" {
+			host = "worker"
+		}
+		c.ID = fmt.Sprintf("%s-%d", host, os.Getpid())
+	}
+	c.Dial = c.Dial.Normalize()
+	if c.Dial.Attempts <= 0 {
+		c.Dial.Attempts = 8
+	}
+	if c.ReconnectWindow <= 0 {
+		c.ReconnectWindow = 30 * time.Second
+	}
+	c.Sink = obs.Or(c.Sink)
+	return c, nil
+}
+
+// RunWorker connects to the coordinator and evaluates leases until
+// the sweep is done. Transient dial failures retry under cfg.Dial's
+// jittered backoff; a session lost mid-sweep re-dials for up to
+// ReconnectWindow before concluding the coordinator is gone for good.
+// Returns nil on a clean MsgDone (or when the coordinator vanished
+// after at least one established session — the sweep has moved on
+// without us), ctx.Err() on cancellation, and a real error only when
+// the worker could never join or cannot evaluate the job.
+func RunWorker(ctx context.Context, cfg WorkerConfig) error {
+	cfg, err := cfg.normalize()
+	if err != nil {
+		return err
+	}
+	var evalFn EvalFunc
+	var evalJob Job
+	sessions := 0
+	for {
+		conn, err := dial(ctx, cfg)
+		if err != nil {
+			if ctx.Err() != nil {
+				return ctx.Err()
+			}
+			if sessions > 0 {
+				// We were part of a sweep once; the coordinator not
+				// answering anymore almost certainly means it finished
+				// and exited between our frames.
+				obs.Logf(cfg.Sink, "worker %s: coordinator gone after %d session(s), exiting", cfg.ID, sessions)
+				return nil
+			}
+			return fmt.Errorf("dist: worker %s could not reach coordinator %s: %w", cfg.ID, cfg.Addr, err)
+		}
+		sessions++
+		done, err := runSession(ctx, cfg, newFrameConn(conn), &evalFn, &evalJob)
+		if done {
+			return nil
+		}
+		if ctx.Err() != nil {
+			return ctx.Err()
+		}
+		if err != nil {
+			var perm permanentSessionError
+			if errors.As(err, &perm) {
+				return perm.err
+			}
+			obs.Logf(cfg.Sink, "worker %s: session lost (%v), reconnecting", cfg.ID, err)
+		}
+		// Bound the re-dial phase: if the coordinator does not come
+		// back within the window, treat the sweep as over.
+		rctx, cancel := context.WithTimeout(ctx, cfg.ReconnectWindow)
+		conn2, err := dial(rctx, cfg)
+		cancel()
+		if err != nil {
+			if ctx.Err() != nil {
+				return ctx.Err()
+			}
+			obs.Logf(cfg.Sink, "worker %s: coordinator did not return within %v, exiting", cfg.ID, cfg.ReconnectWindow)
+			return nil
+		}
+		done, err = runSession(ctx, cfg, newFrameConn(conn2), &evalFn, &evalJob)
+		if done {
+			return nil
+		}
+		if ctx.Err() != nil {
+			return ctx.Err()
+		}
+		if err != nil {
+			var perm permanentSessionError
+			if errors.As(err, &perm) {
+				return perm.err
+			}
+		}
+	}
+}
+
+// permanentSessionError marks a session failure no reconnect can fix
+// (e.g. the job itself cannot be evaluated here).
+type permanentSessionError struct{ err error }
+
+func (e permanentSessionError) Error() string { return e.err.Error() }
+
+// dial connects to the coordinator under the backoff policy.
+func dial(ctx context.Context, cfg WorkerConfig) (net.Conn, error) {
+	var conn net.Conn
+	err := backoff.Retry(ctx, cfg.Dial, func() error {
+		d := net.Dialer{Timeout: 5 * time.Second}
+		c, err := d.DialContext(ctx, "tcp", cfg.Addr)
+		if err != nil {
+			return err
+		}
+		conn = c
+		return nil
+	})
+	return conn, err
+}
+
+// runSession drives one coordinator connection: hello → job, then the
+// lease loop. Returns done=true on MsgDone. The evaluator is cached
+// across sessions in *evalFn/*evalJob — reconnects to the same sweep
+// skip the (expensive) model setup.
+func runSession(ctx context.Context, cfg WorkerConfig, fc *frameConn, evalFn *EvalFunc, evalJob *Job) (done bool, err error) {
+	defer fc.close()
+	// Unblock the session reads if the worker is cancelled mid-wait.
+	stop := context.AfterFunc(ctx, func() { fc.close() })
+	defer stop()
+	if err := fc.send(Message{Type: MsgHello, Worker: cfg.ID, PID: os.Getpid()}); err != nil {
+		return false, err
+	}
+	m, err := fc.recv(30 * time.Second)
+	if err != nil {
+		return false, err
+	}
+	if m.Type != MsgJob || m.Job == nil {
+		return false, fmt.Errorf("dist: expected job, got %s", m.Type)
+	}
+	if *evalFn == nil || !sameJob(*evalJob, *m.Job) {
+		fn, err := cfg.Setup(ctx, *m.Job)
+		if err != nil {
+			return false, permanentSessionError{fmt.Errorf("dist: worker %s cannot evaluate job: %w", cfg.ID, err)}
+		}
+		*evalFn = fn
+		*evalJob = *m.Job
+	}
+	for {
+		if err := fc.send(Message{Type: MsgLeaseReq, Worker: cfg.ID}); err != nil {
+			return false, err
+		}
+		m, err := fc.recv(30 * time.Second)
+		if err != nil {
+			return false, err
+		}
+		switch m.Type {
+		case MsgDone:
+			obs.Logf(cfg.Sink, "worker %s: sweep done", cfg.ID)
+			return true, nil
+		case MsgNoLease:
+			wait := time.Duration(m.RetryMs) * time.Millisecond
+			if wait <= 0 {
+				wait = 100 * time.Millisecond
+			}
+			timedWait(ctx, wait)
+			if ctx.Err() != nil {
+				return false, ctx.Err()
+			}
+		case MsgLease:
+			if err := evalLease(ctx, cfg, fc, *evalFn, *m.Lease); err != nil {
+				return false, err
+			}
+		case MsgError:
+			return false, fmt.Errorf("dist: coordinator: %s", m.Err)
+		default:
+			return false, fmt.Errorf("dist: unexpected %s", m.Type)
+		}
+	}
+}
+
+// evalLease evaluates one lease while a background goroutine
+// heartbeats at TTL/4, then reports the result (or the evaluation
+// error — the coordinator re-issues the lease elsewhere).
+func evalLease(ctx context.Context, cfg WorkerConfig, fc *frameConn, fn EvalFunc, l Lease) error {
+	hbCtx, hbCancel := context.WithCancel(ctx)
+	hbDone := make(chan struct{})
+	go func() {
+		defer close(hbDone)
+		interval := l.TTL() / 4
+		if interval < 5*time.Millisecond {
+			interval = 5 * time.Millisecond
+		}
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-hbCtx.Done():
+				return
+			case <-t.C:
+				// Best effort: a send failure surfaces as a session
+				// error on the main loop's next send.
+				fc.send(Message{Type: MsgHeartbeat, Worker: cfg.ID, LeaseID: l.ID})
+			}
+		}
+	}()
+	accs, evalErr := fn(ctx, l)
+	hbCancel()
+	<-hbDone
+	if ctx.Err() != nil {
+		return ctx.Err()
+	}
+	res := Message{Type: MsgResult, Worker: cfg.ID, LeaseID: l.ID}
+	if evalErr != nil {
+		res.Err = evalErr.Error()
+		obs.Logf(cfg.Sink, "worker %s: lease %d failed: %v", cfg.ID, l.ID, evalErr)
+	} else {
+		res.Accs = accs
+	}
+	return fc.send(res)
+}
+
+// sameJob reports whether two jobs describe the same sweep.
+func sameJob(a, b Job) bool {
+	if a.Preset != b.Preset || a.Dataset != b.Dataset || a.Scenario != b.Scenario ||
+		a.Runs != b.Runs || a.Seed != b.Seed || a.Batch != b.Batch ||
+		len(a.Rates) != len(b.Rates) {
+		return false
+	}
+	for i := range a.Rates {
+		if a.Rates[i] != b.Rates[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -82,6 +82,26 @@ const (
 	// requests flushed after the drain began, Seconds = drain wall
 	// clock).
 	KindServeDrain Kind = "serve.drain"
+	// KindDistLease reports one run-range lease issued to a worker
+	// (Key = worker id, Run = lease id, Rate = the lease's fault rate,
+	// N = runs in the range).
+	KindDistLease Kind = "dist.lease"
+	// KindDistWorkerJoin reports a worker registering with the
+	// coordinator (Key = worker id, N = pool size after the join).
+	KindDistWorkerJoin Kind = "dist.worker.join"
+	// KindDistWorkerLost reports a worker leaving the pool — connection
+	// error, EOF, or process death (Key = worker id, N = pool size
+	// after the loss, Msg = reason).
+	KindDistWorkerLost Kind = "dist.worker.lost"
+	// KindDistReissue reports a lease returned to the pending queue —
+	// its worker died, missed its heartbeat deadline, or reported an
+	// error (Key = worker id the lease was revoked from, Run = lease
+	// id, Rate, N = runs in the range, Msg = reason).
+	KindDistReissue Kind = "dist.reissue"
+	// KindDistFallback reports the coordinator executing one lease
+	// in-process because no workers are available (Run = lease id,
+	// Rate, N = runs in the range).
+	KindDistFallback Kind = "dist.fallback"
 )
 
 // Event is one structured observation of a run. It is a flat value
@@ -150,6 +170,16 @@ func (e Event) String() string {
 		return fmt.Sprintf("serve batch %d: %d request(s) in %.2fms", e.Run, e.N, e.Seconds*1000)
 	case KindServeDrain:
 		return fmt.Sprintf("serve drain: %d queued request(s) flushed in %.2fms", e.N, e.Seconds*1000)
+	case KindDistLease:
+		return fmt.Sprintf("lease %d -> %s: %d run(s) @Psa=%g", e.Run, e.Key, e.N, e.Rate)
+	case KindDistWorkerJoin:
+		return fmt.Sprintf("worker %s joined (pool %d)", e.Key, e.N)
+	case KindDistWorkerLost:
+		return fmt.Sprintf("worker %s lost (pool %d): %s", e.Key, e.N, e.Msg)
+	case KindDistReissue:
+		return fmt.Sprintf("lease %d reissued from %s (%d run(s) @Psa=%g): %s", e.Run, e.Key, e.N, e.Rate, e.Msg)
+	case KindDistFallback:
+		return fmt.Sprintf("lease %d executed in-process: %d run(s) @Psa=%g", e.Run, e.N, e.Rate)
 	}
 	if e.Msg != "" {
 		return string(e.Kind) + ": " + e.Msg

@@ -159,8 +159,18 @@ type HealthResponse struct {
 	Classes  int     `json:"classes"`
 	Dims     [3]int  `json:"dims"` // C, H, W
 	Queue    int     `json:"queue"`
+	QueueCap int     `json:"queue_cap"`
 	MaxBatch int     `json:"max_batch"`
 	UptimeS  float64 `json:"uptime_s"`
+	// Worker-pool status: configured executors, how many sit idle
+	// right now, how many defect-eval requests are in flight against
+	// the eval concurrency cap, and the lifetime count of admitted
+	// infer requests.
+	Executors     int   `json:"executors"`
+	IdleExecutors int   `json:"idle_executors"`
+	EvalsInFlight int   `json:"evals_in_flight"`
+	EvalCap       int   `json:"eval_cap"`
+	Accepted      int64 `json:"accepted"`
 }
 
 // ErrorResponse is the envelope every non-2xx response carries.
@@ -464,13 +474,19 @@ func (s *Server) handleStability(w http.ResponseWriter, r *http.Request) int {
 
 func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) int {
 	h := HealthResponse{
-		Status:   "ok",
-		Params:   s.params,
-		Classes:  s.classes,
-		Dims:     [3]int{s.c, s.h, s.w},
-		Queue:    len(s.queue),
-		MaxBatch: s.cfg.MaxBatch,
-		UptimeS:  time.Since(s.start).Seconds(),
+		Status:        "ok",
+		Params:        s.params,
+		Classes:       s.classes,
+		Dims:          [3]int{s.c, s.h, s.w},
+		Queue:         len(s.queue),
+		QueueCap:      cap(s.queue),
+		MaxBatch:      s.cfg.MaxBatch,
+		UptimeS:       time.Since(s.start).Seconds(),
+		Executors:     s.cfg.Executors,
+		IdleExecutors: len(s.execs),
+		EvalsInFlight: len(s.evals),
+		EvalCap:       s.cfg.EvalConcurrency,
+		Accepted:      s.accepted.Load(),
 	}
 	if s.draining.Load() {
 		h.Status = "draining"

@@ -92,6 +92,18 @@ type Config struct {
 	MaxEvalRates int
 	// RetryAfter is the Retry-After hint on 429 responses (<=0 → 1s).
 	RetryAfter time.Duration
+	// ReadHeaderTimeout bounds how long a connection may dribble its
+	// request headers (<=0 → 5s) — the Slowloris guard.
+	ReadHeaderTimeout time.Duration
+	// ReadTimeout bounds reading one full request, headers and body
+	// (<=0 → 30s).
+	ReadTimeout time.Duration
+	// IdleTimeout closes keep-alive connections with no request in
+	// flight (<=0 → 2m). There is deliberately no WriteTimeout: a
+	// defect-eval response legitimately takes as long as the eval the
+	// client asked for, and slow writers are already bounded by the
+	// kernel's send buffer plus IdleTimeout.
+	IdleTimeout time.Duration
 	// Eval supplies the defaults for defect-eval and stability
 	// requests: Workers, eval batch size, fault scenario, and the
 	// seed/runs used when the request omits them. Normalized on New.
@@ -127,6 +139,15 @@ func (c Config) Normalize() Config {
 	}
 	if c.RetryAfter <= 0 {
 		c.RetryAfter = time.Second
+	}
+	if c.ReadHeaderTimeout <= 0 {
+		c.ReadHeaderTimeout = 5 * time.Second
+	}
+	if c.ReadTimeout <= 0 {
+		c.ReadTimeout = 30 * time.Second
+	}
+	if c.IdleTimeout <= 0 {
+		c.IdleTimeout = 2 * time.Minute
 	}
 	c.Eval = c.Eval.Normalize()
 	c.Sink = obs.Or(c.Sink)
@@ -248,7 +269,12 @@ func (s *Server) Draining() bool { return s.draining.Load() }
 // admission stops, queued batches flush, in-flight handlers complete,
 // and the listener closes. A clean drain returns nil.
 func (s *Server) Serve(ctx context.Context, l net.Listener) error {
-	hs := &http.Server{Handler: s.Handler()}
+	hs := &http.Server{
+		Handler:           s.Handler(),
+		ReadHeaderTimeout: s.cfg.ReadHeaderTimeout,
+		ReadTimeout:       s.cfg.ReadTimeout,
+		IdleTimeout:       s.cfg.IdleTimeout,
+	}
 	errc := make(chan error, 1)
 	go func() { errc <- hs.Serve(l) }()
 	select {

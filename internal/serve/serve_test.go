@@ -268,6 +268,47 @@ func TestHealthz(t *testing.T) {
 		h.Dims != [3]int{c, hh, w} {
 		t.Fatalf("healthz = %+v", h)
 	}
+	// Pool status: default config, nothing in flight.
+	if h.QueueCap != s.cfg.QueueDepth || h.Executors != s.cfg.Executors ||
+		h.EvalCap != s.cfg.EvalConcurrency {
+		t.Fatalf("healthz pool caps = %+v, config = %+v", h, s.cfg)
+	}
+	if h.IdleExecutors != s.cfg.Executors || h.EvalsInFlight != 0 || h.Accepted != 0 {
+		t.Fatalf("healthz pool status = %+v on an idle server", h)
+	}
+}
+
+// TestHealthzReportsBusyPool pins the worker-pool view: an occupied
+// eval slot and a checked-out executor are visible in /v1/healthz.
+func TestHealthzReportsBusyPool(t *testing.T) {
+	s, _, _ := newTestServer(t, Config{Executors: 2, EvalConcurrency: 1})
+	s.evals <- struct{}{} // one eval in flight
+	e := <-s.execs        // one executor busy
+	defer func() { s.execs <- e; <-s.evals }()
+
+	rec := httptest.NewRecorder()
+	s.Handler().ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/v1/healthz", nil))
+	var h HealthResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &h); err != nil {
+		t.Fatal(err)
+	}
+	if h.EvalsInFlight != 1 || h.IdleExecutors != 1 || h.Executors != 2 {
+		t.Fatalf("busy pool healthz = %+v, want 1 eval in flight, 1 of 2 executors idle", h)
+	}
+}
+
+// TestServeTimeoutsConfigured pins the hardened listener defaults:
+// zero-valued Config resolves to real read/header/idle timeouts so a
+// socket-holding client cannot pin a connection forever.
+func TestServeTimeoutsConfigured(t *testing.T) {
+	cfg := Config{}.Normalize()
+	if cfg.ReadHeaderTimeout <= 0 || cfg.ReadTimeout <= 0 || cfg.IdleTimeout <= 0 {
+		t.Fatalf("normalized timeouts = %v/%v/%v, want all positive",
+			cfg.ReadHeaderTimeout, cfg.ReadTimeout, cfg.IdleTimeout)
+	}
+	if cfg.ReadHeaderTimeout > cfg.ReadTimeout {
+		t.Fatalf("header timeout %v exceeds read timeout %v", cfg.ReadHeaderTimeout, cfg.ReadTimeout)
+	}
 }
 
 // TestQueueFullAnswers429 pins admission control deterministically:
