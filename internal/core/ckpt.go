@@ -39,6 +39,13 @@ type trainMeta struct {
 	FaultRate float64
 	Samples   int
 
+	// Numerics records the kernel numerics tier active when the
+	// snapshot was written ("" in pre-tier checkpoints means "exact",
+	// the only tier that existed). Resuming under a different tier
+	// would break the bit-identical-resume contract, so restore
+	// starts fresh instead.
+	Numerics string
+
 	BestEvalAcc float64
 	BestEpoch   int
 	HasBest     bool
@@ -117,6 +124,7 @@ func (c *ckptSaver) capture(epoch int, res *Result, bestState []byte, samples in
 	meta := trainMeta{
 		Seed: c.seed, Stage: c.stage, Epochs: c.epochs, Epoch: epoch + 1,
 		FaultRate: c.rate, Samples: samples,
+		Numerics: tensor.ActiveNumerics().String(),
 		BestEvalAcc: res.BestEvalAcc, BestEpoch: res.BestEpoch,
 		HasBest: bestState != nil,
 		History: res.History, Prefix: c.prefix,
@@ -214,6 +222,14 @@ func (c *ckptSaver) restore(res *Result) (startEpoch int, bestState []byte, samp
 	if meta.Seed != c.seed || meta.Epochs != c.epochs || meta.FaultRate != c.rate ||
 		meta.Epoch < 1 || meta.Epoch > c.epochs || len(meta.History) != meta.Epoch {
 		obs.Logf(c.sink, "checkpoint %s belongs to a different run (seed/budget/rate mismatch); starting fresh", path)
+		return 0, nil, 0
+	}
+	ckptTier := meta.Numerics
+	if ckptTier == "" {
+		ckptTier = tensor.NumericsExact.String() // pre-tier checkpoint
+	}
+	if active := tensor.ActiveNumerics().String(); ckptTier != active {
+		obs.Logf(c.sink, "checkpoint %s was written under %s numerics but the process tier is %s; starting fresh (resume must be bit-identical)", path, ckptTier, active)
 		return 0, nil, 0
 	}
 	if c.admm != nil && sections[secADMM] == nil {

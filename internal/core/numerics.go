@@ -1,0 +1,29 @@
+package core
+
+import (
+	"fmt"
+
+	"github.com/ftpim/ftpim/internal/tensor"
+)
+
+// CheckNumerics validates a declared numerics tier ("", "exact" or
+// "fast") against the process-wide active tier. The tier itself is a
+// process-global knob (tensor.SetNumerics, the ftpim -numerics flag)
+// set once at startup; Config.Numerics / DefectEval.Numerics do not
+// switch it — they declare what the run requires, and the Train/Eval
+// entry points fail fast on a mismatch so a run whose outputs feed a
+// byte-identity contract can never silently execute under the wrong
+// tier. Empty declares nothing and always passes.
+func CheckNumerics(declared string) error {
+	if declared == "" {
+		return nil
+	}
+	want, err := tensor.ParseNumerics(declared)
+	if err != nil {
+		return fmt.Errorf("core: invalid Numerics: %w", err)
+	}
+	if got := tensor.ActiveNumerics(); got != want {
+		return fmt.Errorf("core: run pinned to %s numerics but the process tier is %s (set via tensor.SetNumerics or ftpim -numerics)", want, got)
+	}
+	return nil
+}

@@ -15,6 +15,7 @@ import (
 	"github.com/ftpim/ftpim/internal/nn"
 	"github.com/ftpim/ftpim/internal/obs"
 	"github.com/ftpim/ftpim/internal/prune"
+	"github.com/ftpim/ftpim/internal/tensor"
 )
 
 // Env owns the datasets and trained models an experiment run needs.
@@ -138,7 +139,19 @@ func (e *Env) scaleHash() uint64 {
 // when CacheDir is set; writes go through a temp file + rename so an
 // interrupt mid-write can never leave a corrupt cache entry, and a
 // canceled training run is never cached at all.
+// tierKey suffixes cache keys with the active numerics tier when it
+// is not exact: models trained under fast kernels must never be served
+// from (or poison) the exact cache, whose entries back byte-identity
+// contracts. Applied centrally here so every Env getter inherits it.
+func tierKey(key string) string {
+	if tensor.ActiveNumerics() == tensor.NumericsFast {
+		return key + "+fast"
+	}
+	return key
+}
+
 func (e *Env) cached(key string, build func() *nn.Network, train func(net *nn.Network) error) (*nn.Network, error) {
+	key = tierKey(key)
 	if net, ok := e.nets[key]; ok {
 		return net, nil
 	}
@@ -222,7 +235,9 @@ func (e *Env) trainCfg(key string, epochs int, lr float64, seed uint64) core.Con
 		Scenario: e.Scenario,
 	}
 	if e.Ckpt != nil {
-		cfg.Ckpt = e.Ckpt.Run(key)
+		// Same tier suffix as cached(): checkpoint runs must pair with
+		// the cache entry they feed, so cached()'s ClearKey finds them.
+		cfg.Ckpt = e.Ckpt.Run(tierKey(key))
 		cfg.CkptEvery = e.CkptEvery
 	}
 	return cfg

@@ -13,6 +13,7 @@ import (
 	"github.com/ftpim/ftpim/internal/fault"
 	"github.com/ftpim/ftpim/internal/metrics"
 	"github.com/ftpim/ftpim/internal/obs"
+	"github.com/ftpim/ftpim/internal/tensor"
 )
 
 // maxBodyBytes bounds request bodies; a CIFAR-scale image encodes in
@@ -171,6 +172,12 @@ type HealthResponse struct {
 	EvalsInFlight int   `json:"evals_in_flight"`
 	EvalCap       int   `json:"eval_cap"`
 	Accepted      int64 `json:"accepted"`
+	// Numerics is the active GEMM tier ("exact" or "fast") and CPU the
+	// vector features backing the fast tier (empty on hosts without
+	// AVX2+FMA). Callers that require byte-identical outputs across a
+	// fleet can reject instances whose tier differs from their own.
+	Numerics string `json:"numerics"`
+	CPU      string `json:"cpu_features,omitempty"`
 }
 
 // ErrorResponse is the envelope every non-2xx response carries.
@@ -487,6 +494,8 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) int {
 		EvalsInFlight: len(s.evals),
 		EvalCap:       s.cfg.EvalConcurrency,
 		Accepted:      s.accepted.Load(),
+		Numerics:      tensor.ActiveNumerics().String(),
+		CPU:           tensor.CPUFeatures(),
 	}
 	if s.draining.Load() {
 		h.Status = "draining"

@@ -209,6 +209,15 @@ func convForwardUnits(dst, wd, src []float32, c, h, w, kh, kw, stride, pad, outH
 // +jw]. Reusing gemmTile2/gemmTile1 verbatim is what makes the fused
 // path's per-element operation sequence identical to Gemm's.
 func convPanelRows(od, wd, pb []float32, k, outC, jw, bs, pbBase, base, orStride int) {
+	if useFast() {
+		// Fast tier: the same per-row microkernel the fast Gemm path
+		// runs, so fused conv stays bit-identical to the composed
+		// Im2Col+Gemm oracle within the tier.
+		for i := 0; i < outC; i++ {
+			fastTile1(od[base+i*orStride:base+i*orStride+jw], wd[i*k:i*k+k], pb, jw, bs, pbBase)
+		}
+		return
+	}
 	i := 0
 	for ; i+2 <= outC; i += 2 {
 		gemmTile2(od[base+i*orStride:base+i*orStride+jw],
@@ -346,6 +355,7 @@ func convSampleDW(chunk, srci, dyi, gen []float32, c, h, w, outC, kh, kw, stride
 		im2colRow(d, srci, ch*h*w, ky, kx, h, w, outH, outW, stride, pad)
 		return d
 	}
+	vec := useFast()
 	j := 0
 	for ; j+4 <= k; j += 4 {
 		b0 := colRow(j, 0)
@@ -354,6 +364,13 @@ func convSampleDW(chunk, srci, dyi, gen []float32, c, h, w, outC, kh, kw, stride
 		b3 := colRow(j+3, 3)
 		for oc := 0; oc < outC; oc++ {
 			arow := dyi[oc*outArea : (oc+1)*outArea]
+			if vec {
+				// Fast tier: the same 1×4 dot microkernel the fast
+				// GemmTB path runs per element.
+				chunk[oc*k+j], chunk[oc*k+j+1], chunk[oc*k+j+2], chunk[oc*k+j+3] =
+					fastDot4(arow, b0, b1, b2, b3)
+				continue
+			}
 			var s0, s1, s2, s3 float32
 			p := 0
 			for ; p+4 <= outArea; p += 4 {
@@ -377,6 +394,10 @@ func convSampleDW(chunk, srci, dyi, gen []float32, c, h, w, outC, kh, kw, stride
 		brow := colRow(j, 0)
 		for oc := 0; oc < outC; oc++ {
 			arow := dyi[oc*outArea : (oc+1)*outArea]
+			if vec {
+				chunk[oc*k+j] = fastDot(arow, brow)
+				continue
+			}
 			var s float32
 			p := 0
 			for ; p+4 <= outArea; p += 4 {
@@ -403,7 +424,13 @@ func convSampleDX(dxi, wd, dyi, sb []float32, c, h, w, outC, kh, kw, stride, pad
 	outArea := outH * outW
 	k := c * kh * kw
 	kk := kh * kw
-	gemmTAShard(sb, wd, dyi, outC, k, outArea, 0, k)
+	if useFast() {
+		// Serial fast variant: this runs inside the per-sample
+		// ParallelFor, so it must not fan out again.
+		fastGemmTASerial(sb, wd, dyi, outC, k, outArea)
+	} else {
+		gemmTAShard(sb, wd, dyi, outC, k, outArea, 0, k)
+	}
 	for r := 0; r < k; r++ {
 		s := sb[r*outArea : (r+1)*outArea]
 		if fast {

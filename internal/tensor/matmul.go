@@ -9,8 +9,12 @@ import (
 //
 // The three products the training loop needs (A·B, Aᵀ·B, A·Bᵀ) are
 // cache-blocked, register-tiled kernels over raw float32 slices, with
-// Tensor wrappers that validate shapes. Two invariants govern every
-// kernel in this file:
+// Tensor wrappers that validate shapes. Each entry point dispatches on
+// the process-wide numerics tier (numerics.go): the scalar kernels in
+// this file are the exact tier; on amd64 hosts with AVX2+FMA the fast
+// tier swaps the inner loops for the microkernels in gemm_fast.go,
+// trading bit-identity for throughput (ULP-pinned instead). Two
+// invariants govern every exact kernel in this file:
 //
 //  1. Bit-identity. For each output element, the sequence of
 //     floating-point operations — including the skip-zero fast paths,
@@ -109,6 +113,10 @@ func MatMulInto(out, a, b *Tensor) {
 // operands are sub-slices of larger batch buffers (see nn.Conv2D).
 func Gemm(dst, a, b []float32, m, k, n int) {
 	if m == 0 || n == 0 {
+		return
+	}
+	if useFast() {
+		fastGemm(dst, a, b, m, k, n)
 		return
 	}
 	pb, buf := packB(b, k, n)
@@ -309,6 +317,10 @@ func GemmTA(dst, a, b []float32, k, m, n int) {
 	if m == 0 || n == 0 {
 		return
 	}
+	if useFast() {
+		fastGemmTA(dst, a, b, k, m, n)
+		return
+	}
 	if m >= 2 && m*k*n >= matMulShardFlops && Workers() > 1 {
 		ParallelFor(m, func(_, lo, hi int) {
 			gemmTAShard(dst, a, b, k, m, n, lo, hi)
@@ -442,6 +454,10 @@ func GemmTB(dst, a, b []float32, m, k, n int) {
 	if m == 0 || n == 0 {
 		return
 	}
+	if useFast() {
+		fastGemmTB(dst, a, b, m, k, n)
+		return
+	}
 	if m >= 2 && m*k*n >= matMulShardFlops && Workers() > 1 {
 		ParallelFor(m, func(_, lo, hi int) {
 			gemmTBRows(dst, a, b, k, n, lo, hi)
@@ -451,15 +467,37 @@ func GemmTB(dst, a, b []float32, m, k, n int) {
 	gemmTBRows(dst, a, b, k, n, 0, m)
 }
 
+// gemmTBJBlock is the B-row block height of the A·Bᵀ kernels: output
+// columns are processed in blocks of at most gemmTBJBlock B rows so
+// the block (32 rows × k floats — 32 KiB at k=256) stays L1-resident
+// while every output row in the shard consumes it, instead of
+// streaming all n·k of B past the cache once per output row. Blocking
+// reorders work across output elements only; each element's dot
+// product is unchanged.
+const gemmTBJBlock = 32
+
 // gemmTBRows computes output rows [lo, hi) of dst = A·Bᵀ in 1×4
-// register tiles: four j accumulators share each A quad load. Each
-// accumulator's operation sequence is exactly the reference kernel's.
+// register tiles within B-row blocks of gemmTBJBlock: four j
+// accumulators share each A quad load. Each accumulator's operation
+// sequence is exactly the reference kernel's.
 func gemmTBRows(od, ad, bd []float32, k, n, lo, hi int) {
+	for j0 := 0; j0 < n; j0 += gemmTBJBlock {
+		jb := n - j0
+		if jb > gemmTBJBlock {
+			jb = gemmTBJBlock
+		}
+		gemmTBBlock(od, ad, bd, k, n, lo, hi, j0, j0+jb)
+	}
+}
+
+// gemmTBBlock computes the output block rows [lo, hi) × columns
+// [j0, j1) of dst = A·Bᵀ.
+func gemmTBBlock(od, ad, bd []float32, k, n, lo, hi, j0, j1 int) {
 	for i := lo; i < hi; i++ {
 		arow := ad[i*k : i*k+k]
 		orow := od[i*n : i*n+n]
-		j := 0
-		for ; j+4 <= n; j += 4 {
+		j := j0
+		for ; j+4 <= j1; j += 4 {
 			b0 := bd[j*k : j*k+k]
 			b1 := bd[(j+1)*k : (j+1)*k+k]
 			b2 := bd[(j+2)*k : (j+2)*k+k]
@@ -482,7 +520,7 @@ func gemmTBRows(od, ad, bd []float32, k, n, lo, hi int) {
 			}
 			orow[j], orow[j+1], orow[j+2], orow[j+3] = s0, s1, s2, s3
 		}
-		for ; j < n; j++ {
+		for ; j < j1; j++ {
 			brow := bd[j*k : j*k+k]
 			var s float32
 			p := 0

@@ -5,6 +5,12 @@
 # compositions (the *Ref* benchmarks time the old implementations in the
 # same binary; both stay in-tree as bitwise oracles), plus the
 # sharded-path benchmarks behind BENCH_parallel.json.
+#
+# The '256Serial' pattern also matches the *Fast256Serial benchmarks,
+# which pin the fast (AVX2+FMA) tier for the same shapes — on hosts
+# without AVX2+FMA they report SKIP. The exact-tier numbers are what
+# the bitwise contracts are defined against; the fast numbers are the
+# headline speedups in BENCH_gemm.json.
 # Run from the repository root; paste medians into the JSON by hand.
 set -e
 
