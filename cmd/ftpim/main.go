@@ -11,8 +11,11 @@
 //	ftpim device draw|eval|retrain [-psa RATE] [-profile FILE] [-dataset c10]
 //	ftpim all    [-preset repro] [-cache DIR] [-out DIR]
 //	ftpim serve  [-addr HOST:PORT] [-max-batch N] [-batch-window D] [-queue N]
-//	             [-executors N] [-loadtest [-lt-clients N] [-lt-requests N]
-//	             [-bench-out FILE]]
+//	             [-executors N] [-model FILE.ftpm] [-loadtest [-lt-clients N]
+//	             [-lt-requests N] [-bench-out FILE]]
+//	ftpim export [-preset repro] [-dataset c10] [-o FILE.ftpm] [-calib N]
+//	ftpim quantbench [-preset repro] [-dataset c10] [-calib N]
+//	             [-lt-clients N] [-lt-requests N] [-bench-out FILE]
 //	ftpim coordinator [-addr HOST:PORT] [-dist-lease N] [-dist-lease-ttl D]
 //	             [-dist-fallback-after D] [-runs N] [-checkpoint DIR [-resume]]
 //	ftpim worker -connect HOST:PORT [-worker-id ID] [-dist-slow-ms N]
@@ -65,6 +68,16 @@
 // handler and reports p50/p99 latency and throughput (optionally
 // recorded to -bench-out as JSON).
 //
+// export quantizes the trained float model to int8 (symmetric,
+// per-row weight scales, activation scales calibrated on -calib
+// training images) and writes it as a single FTPM container file.
+// serve -model FILE.ftpm serves that file without touching training
+// or the gob cache: the file is mmap'd read-only and the int8 weights
+// alias the mapped pages, so cold start is file-open fast. quantbench
+// measures the int8 path's three claims — accuracy parity with
+// float32, cold-start speedup over the gob cache, and serving
+// throughput — into results/BENCH_quant.json.
+//
 // coordinator/worker distribute a defect sweep across processes: the
 // coordinator shards each rate's Monte-Carlo runs into leases and
 // serves them over TCP; workers rebuild the identical model from the
@@ -109,6 +122,7 @@ import (
 	"github.com/ftpim/ftpim/internal/core"
 	"github.com/ftpim/ftpim/internal/experiments"
 	"github.com/ftpim/ftpim/internal/fault"
+	"github.com/ftpim/ftpim/internal/ftpm"
 	"github.com/ftpim/ftpim/internal/obs"
 	"github.com/ftpim/ftpim/internal/report"
 	"github.com/ftpim/ftpim/internal/reram"
@@ -171,7 +185,12 @@ func run() int {
 	ltEvalEvery := fs.Int("lt-eval-every", 0,
 		"serve -loadtest: mix in one defect-eval per client every N infer requests (0 = none)")
 	benchOut := fs.String("bench-out", "",
-		"serve -loadtest: write the load-test record (JSON) to FILE")
+		"serve -loadtest: write the load-test record (JSON) to FILE; quantbench: record path (default results/BENCH_quant.json)")
+	modelFile := fs.String("model", "",
+		"serve: serve a quantized FTPM model file zero-copy (skips training and the gob cache; Monte-Carlo endpoints answer 501)")
+	exportOut := fs.String("o", "", "export: output FTPM path (default model-DATASET.ftpm)")
+	calibN := fs.Int("calib", 256,
+		"export/quantbench: calibration images drawn from the train split for activation scales")
 	connect := fs.String("connect", "", "worker: coordinator address (HOST:PORT)")
 	workerID := fs.String("worker-id", "", "worker: pool id (default: host-pid)")
 	distLease := fs.Int("dist-lease", 8, "coordinator: Monte-Carlo runs per lease")
@@ -226,6 +245,12 @@ func run() int {
 	}
 	if *distRuns < 0 || *distSlowMs < 0 {
 		return usageErr("-runs and -dist-slow-ms must be >= 0")
+	}
+	if *calibN < 1 {
+		return usageErr("-calib must be >= 1, got %d", *calibN)
+	}
+	if *modelFile != "" && cmd != "serve" {
+		return usageErr("-model is a serve flag")
 	}
 	if *numerics != "" {
 		n, nerr := tensor.ParseNumerics(*numerics)
@@ -349,9 +374,16 @@ func run() int {
 	case "serve":
 		err = runServe(ctx, env, *dataset, serveOpts{
 			addr: *addr, maxBatch: *maxBatch, batchWindow: *batchWindow,
-			queue: *queueDepth, executors: *executors,
+			queue: *queueDepth, executors: *executors, model: *modelFile,
 			loadtest: *loadtest, ltClients: *ltClients, ltRequests: *ltRequests,
 			ltEvalEvery: *ltEvalEvery, benchOut: *benchOut,
+		})
+	case "export":
+		err = runExport(ctx, env, *dataset, *exportOut, *calibN)
+	case "quantbench":
+		err = runQuantBench(ctx, env, *dataset, quantBenchOpts{
+			preset: *preset, cache: *cache, out: *benchOut, calibN: *calibN,
+			clients: *ltClients, requests: *ltRequests,
 		})
 	case "coordinator":
 		err = runCoordinator(ctx, env, *dataset, distOpts{
@@ -644,8 +676,8 @@ func printVersion(w io.Writer) {
 	} else {
 		tier += " (fast tier unavailable)"
 	}
-	fmt.Fprintf(w, "ftpim %s %s %s/%s\nnumerics: %s\ncpu features: %s\n",
-		version, runtime.Version(), runtime.GOOS, runtime.GOARCH, tier, cpu)
+	fmt.Fprintf(w, "ftpim %s %s %s/%s\nnumerics: %s\ncpu features: %s\nmodel format: %s (int8 symmetric, zero-copy mmap)\n",
+		version, runtime.Version(), runtime.GOOS, runtime.GOARCH, tier, cpu, ftpm.FormatName)
 }
 
 // usageErr reports a flag-validation failure with the usage exit code.
@@ -725,7 +757,13 @@ commands:
   serve     HTTP inference + defect-eval service with dynamic
             micro-batching (-addr, -max-batch, -batch-window, -queue,
             -executors; -loadtest for an in-process load test with
-            -lt-clients/-lt-requests/-bench-out)
+            -lt-clients/-lt-requests/-bench-out; -model FILE.ftpm
+            serves an exported int8 model zero-copy via mmap)
+  export    quantize the trained model to int8 and write one
+            mmap-able FTPM file (-o FILE.ftpm, -calib N)
+  quantbench  measure int8 vs float32: accuracy parity, cold-start
+            speedup (mmap'd FTPM vs gob cache), serving throughput;
+            writes results/BENCH_quant.json (-bench-out to override)
   coordinator  shard the defect sweep over TCP workers with lease-based
             failover (-addr, -dist-lease, -dist-lease-ttl,
             -dist-fallback-after, -runs; -checkpoint/-resume for

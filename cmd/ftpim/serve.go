@@ -7,6 +7,8 @@ import (
 	"time"
 
 	"github.com/ftpim/ftpim/internal/experiments"
+	"github.com/ftpim/ftpim/internal/ftpm"
+	"github.com/ftpim/ftpim/internal/nn"
 	"github.com/ftpim/ftpim/internal/serve"
 )
 
@@ -17,6 +19,7 @@ type serveOpts struct {
 	batchWindow time.Duration
 	queue       int
 	executors   int
+	model       string // FTPM file to serve instead of the trained float model
 	loadtest    bool
 	ltClients   int
 	ltRequests  int
@@ -35,11 +38,6 @@ func runServe(ctx context.Context, env *experiments.Env, dataset string, o serve
 	if dataset == "both" {
 		dataset = "c10"
 	}
-	net, err := env.Pretrained(ctx, dataset)
-	if err != nil {
-		return err
-	}
-	_, test := env.Dataset(dataset)
 	cfg := serve.Config{
 		MaxBatch:    o.maxBatch,
 		BatchWindow: o.batchWindow,
@@ -48,6 +46,32 @@ func runServe(ctx context.Context, env *experiments.Env, dataset string, o serve
 		Eval:        env.DefectEval(),
 		Sink:        env.Sink,
 	}
+	// With -model the process never touches training or the gob cache:
+	// the exported FTPM file is mmap'd and its int8 weights serve
+	// directly from the page cache. Monte-Carlo endpoints need mutable
+	// float planes and answer 501 in this mode.
+	var net *nn.Network
+	if o.model != "" {
+		m, err := ftpm.Load(o.model)
+		if err != nil {
+			return err
+		}
+		defer m.Close()
+		cfg.Quantized = m.Net
+		cfg.ModelFormat = ftpm.FormatName
+		src := "read"
+		if m.Mapped {
+			src = "mmap"
+		}
+		fmt.Fprintf(os.Stderr, "ftpim: loaded %s (%s/%s, %s) zero-copy via %s\n",
+			o.model, m.Meta.Model, m.Meta.Dataset, ftpm.FormatName, src)
+	} else {
+		var err error
+		if net, err = env.Pretrained(ctx, dataset); err != nil {
+			return err
+		}
+	}
+	_, test := env.Dataset(dataset)
 	s, err := serve.New(net, test, cfg)
 	if err != nil {
 		return err

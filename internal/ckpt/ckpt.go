@@ -50,29 +50,42 @@ const (
 
 var magic = [4]byte{'F', 'T', 'C', 'K'}
 
-// Encode serializes sections into the checkpoint container format.
+// A Format identifies one file family built on the shared section
+// container: a 4-byte magic, a format version, and a tag used as the
+// error-message prefix. The checkpoint format (FTCK) and the exported
+// model format (FTPM, internal/ftpm) are both instances; they share the
+// wire discipline — sorted deterministic section order, per-section
+// CRC-32, hardened structural bounds, payload aliasing on decode — and
+// differ only in magic, version, and what the sections contain.
+type Format struct {
+	Magic   [4]byte
+	Version uint32
+	Tag     string
+}
+
+// EncodeContainer serializes sections into f's container format.
 // Sections are written in sorted name order, so encoding is
 // deterministic: identical content yields identical bytes.
-func Encode(sections map[string][]byte) ([]byte, error) {
+func EncodeContainer(f Format, sections map[string][]byte) ([]byte, error) {
 	if len(sections) == 0 {
-		return nil, fmt.Errorf("ckpt: no sections to encode")
+		return nil, fmt.Errorf("%s: no sections to encode", f.Tag)
 	}
 	if len(sections) > maxSections {
-		return nil, fmt.Errorf("ckpt: %d sections exceeds limit %d", len(sections), maxSections)
+		return nil, fmt.Errorf("%s: %d sections exceeds limit %d", f.Tag, len(sections), maxSections)
 	}
 	names := make([]string, 0, len(sections))
 	size := 4 + 4 + 4
 	for name, payload := range sections {
 		if name == "" || len(name) > maxNameLen {
-			return nil, fmt.Errorf("ckpt: invalid section name %q", name)
+			return nil, fmt.Errorf("%s: invalid section name %q", f.Tag, name)
 		}
 		names = append(names, name)
 		size += 4 + len(name) + 8 + len(payload) + 4
 	}
 	sort.Strings(names)
 	buf := make([]byte, 0, size)
-	buf = append(buf, magic[:]...)
-	buf = binary.LittleEndian.AppendUint32(buf, FormatVersion)
+	buf = append(buf, f.Magic[:]...)
+	buf = binary.LittleEndian.AppendUint32(buf, f.Version)
 	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(names)))
 	for _, name := range names {
 		payload := sections[name]
@@ -85,16 +98,18 @@ func Encode(sections map[string][]byte) ([]byte, error) {
 	return buf, nil
 }
 
-// Decode parses a checkpoint container, validating the magic, version,
-// structure, and every section checksum. It never panics on arbitrary
-// input and never allocates beyond the input's own size (payloads are
-// sub-slices of b, so callers must not retain b while mutating
-// sections, or vice versa).
-func Decode(b []byte) (map[string][]byte, error) {
+// DecodeContainer parses one of f's containers, validating the magic,
+// version, structure, and every section checksum. It never panics on
+// arbitrary input and never allocates beyond the input's own size
+// (payloads are sub-slices of b, so callers must not retain b while
+// mutating sections, or vice versa — and conversely, a caller that
+// wants zero-copy loading can hand in an mmap'd region and read the
+// sections in place).
+func DecodeContainer(f Format, b []byte) (map[string][]byte, error) {
 	off := 0
 	take := func(n int) ([]byte, error) {
 		if n < 0 || off+n > len(b) {
-			return nil, fmt.Errorf("ckpt: truncated at offset %d (want %d more bytes)", off, n)
+			return nil, fmt.Errorf("%s: truncated at offset %d (want %d more bytes)", f.Tag, off, n)
 		}
 		s := b[off : off+n]
 		off += n
@@ -104,15 +119,15 @@ func Decode(b []byte) (map[string][]byte, error) {
 	if err != nil {
 		return nil, err
 	}
-	if [4]byte(hdr[:4]) != magic {
-		return nil, fmt.Errorf("ckpt: bad magic %q", hdr[:4])
+	if [4]byte(hdr[:4]) != f.Magic {
+		return nil, fmt.Errorf("%s: bad magic %q", f.Tag, hdr[:4])
 	}
-	if v := binary.LittleEndian.Uint32(hdr[4:8]); v != FormatVersion {
-		return nil, fmt.Errorf("ckpt: unsupported format version %d (want %d)", v, FormatVersion)
+	if v := binary.LittleEndian.Uint32(hdr[4:8]); v != f.Version {
+		return nil, fmt.Errorf("%s: unsupported format version %d (want %d)", f.Tag, v, f.Version)
 	}
 	count := int(binary.LittleEndian.Uint32(hdr[8:12]))
 	if count < 1 || count > maxSections {
-		return nil, fmt.Errorf("ckpt: implausible section count %d", count)
+		return nil, fmt.Errorf("%s: implausible section count %d", f.Tag, count)
 	}
 	sections := make(map[string][]byte, count)
 	for i := 0; i < count; i++ {
@@ -122,7 +137,7 @@ func Decode(b []byte) (map[string][]byte, error) {
 		}
 		nameLen := int(binary.LittleEndian.Uint32(nl))
 		if nameLen < 1 || nameLen > maxNameLen {
-			return nil, fmt.Errorf("ckpt: implausible name length %d", nameLen)
+			return nil, fmt.Errorf("%s: implausible name length %d", f.Tag, nameLen)
 		}
 		nameB, err := take(nameLen)
 		if err != nil {
@@ -134,7 +149,7 @@ func Decode(b []byte) (map[string][]byte, error) {
 		}
 		payloadLen := binary.LittleEndian.Uint64(pl)
 		if payloadLen > uint64(len(b)) {
-			return nil, fmt.Errorf("ckpt: section %q claims %d bytes, file has %d", nameB, payloadLen, len(b))
+			return nil, fmt.Errorf("%s: section %q claims %d bytes, file has %d", f.Tag, nameB, payloadLen, len(b))
 		}
 		payload, err := take(int(payloadLen))
 		if err != nil {
@@ -145,18 +160,32 @@ func Decode(b []byte) (map[string][]byte, error) {
 			return nil, err
 		}
 		if got, want := crc32.ChecksumIEEE(payload), binary.LittleEndian.Uint32(ck); got != want {
-			return nil, fmt.Errorf("ckpt: section %q checksum mismatch (%08x != %08x)", nameB, got, want)
+			return nil, fmt.Errorf("%s: section %q checksum mismatch (%08x != %08x)", f.Tag, nameB, got, want)
 		}
 		name := string(nameB)
 		if _, dup := sections[name]; dup {
-			return nil, fmt.Errorf("ckpt: duplicate section %q", name)
+			return nil, fmt.Errorf("%s: duplicate section %q", f.Tag, name)
 		}
 		sections[name] = payload
 	}
 	if off != len(b) {
-		return nil, fmt.Errorf("ckpt: %d trailing bytes", len(b)-off)
+		return nil, fmt.Errorf("%s: %d trailing bytes", f.Tag, len(b)-off)
 	}
 	return sections, nil
+}
+
+// ckptFormat is the FTCK checkpoint instance of the shared container.
+var ckptFormat = Format{Magic: magic, Version: FormatVersion, Tag: "ckpt"}
+
+// Encode serializes sections into the checkpoint container format.
+func Encode(sections map[string][]byte) ([]byte, error) {
+	return EncodeContainer(ckptFormat, sections)
+}
+
+// Decode parses a checkpoint container. See DecodeContainer for the
+// validation and aliasing contract.
+func Decode(b []byte) (map[string][]byte, error) {
+	return DecodeContainer(ckptFormat, b)
 }
 
 // Store roots a directory of per-run checkpoint subdirectories.

@@ -1,0 +1,40 @@
+//go:build !race
+
+// Allocation-regression pin for the mmap-backed inference path.
+// Excluded under -race (the race runtime changes allocation behavior);
+// workers pinned to 1 because spawning shard goroutines allocates.
+
+package ftpm
+
+import (
+	"path/filepath"
+	"testing"
+
+	"github.com/ftpim/ftpim/internal/tensor"
+)
+
+// TestMappedModelWarmForwardAllocs: a warm forward on a model whose
+// weight planes alias the mmap'd file must not allocate — the
+// zero-copy load feeds the same 0-alloc hot path as an in-memory
+// quantized network.
+func TestMappedModelWarmForwardAllocs(t *testing.T) {
+	prev := tensor.SetWorkers(1)
+	defer tensor.SetWorkers(prev)
+
+	q, x := testQNet(t, 61)
+	path := filepath.Join(t.TempDir(), "model.ftpm")
+	if err := Save(path, q, sampleMeta()); err != nil {
+		t.Fatal(err)
+	}
+	m, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	for i := 0; i < 3; i++ {
+		m.Net.Forward(x, false)
+	}
+	if avg := testing.AllocsPerRun(30, func() { m.Net.Forward(x, false) }); avg > 0 {
+		t.Fatalf("warm mmap-backed forward allocates %.1f/op, want 0", avg)
+	}
+}

@@ -1,0 +1,11 @@
+//go:build !(linux || darwin)
+
+package ftpm
+
+import "fmt"
+
+// mmapFile is unavailable on this platform; Load falls back to
+// reading the whole file into memory.
+func mmapFile(path string) ([]byte, func() error, error) {
+	return nil, nil, fmt.Errorf("ftpm: mmap unsupported on this platform")
+}

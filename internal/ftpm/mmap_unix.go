@@ -1,0 +1,34 @@
+//go:build linux || darwin
+
+package ftpm
+
+import (
+	"fmt"
+	"os"
+	"syscall"
+)
+
+// mmapFile maps path read-only. The returned closer unmaps; after it
+// runs, every slice aliasing the region is invalid. PROT_READ makes
+// the weight planes genuinely immutable — a stray write through an
+// aliased slice faults instead of silently corrupting the model.
+func mmapFile(path string) ([]byte, func() error, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer f.Close()
+	st, err := f.Stat()
+	if err != nil {
+		return nil, nil, err
+	}
+	size := st.Size()
+	if size <= 0 || size != int64(int(size)) {
+		return nil, nil, fmt.Errorf("ftpm: unmappable file size %d", size)
+	}
+	b, err := syscall.Mmap(int(f.Fd()), 0, int(size), syscall.PROT_READ, syscall.MAP_SHARED)
+	if err != nil {
+		return nil, nil, fmt.Errorf("ftpm: mmap: %w", err)
+	}
+	return b, func() error { return syscall.Munmap(b) }, nil
+}

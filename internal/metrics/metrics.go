@@ -8,13 +8,20 @@ import (
 	"sort"
 
 	"github.com/ftpim/ftpim/internal/data"
-	"github.com/ftpim/ftpim/internal/nn"
 	"github.com/ftpim/ftpim/internal/tensor"
 )
 
+// Forwarder is the inference surface the evaluation loop needs: one
+// batched forward pass. Both *nn.Network (float32) and
+// *nn.QuantizedNetwork (int8) satisfy it, so every accuracy protocol
+// in this package applies to either numeric representation.
+type Forwarder interface {
+	Forward(x *tensor.Tensor, train bool) *tensor.Tensor
+}
+
 // Evaluate returns the top-1 accuracy of net on ds, evaluated in
 // inference mode with the given batch size.
-func Evaluate(net *nn.Network, ds *data.Dataset, batch int) float64 {
+func Evaluate(net Forwarder, ds *data.Dataset, batch int) float64 {
 	return EvaluateHooked(net, ds, batch, nil)
 }
 
@@ -33,7 +40,7 @@ type BatchHook interface {
 // exactly Evaluate. The hook receives consecutive step indices in
 // dataset order, so a positional-RNG hook produces the same lesion
 // sequence on every call.
-func EvaluateHooked(net *nn.Network, ds *data.Dataset, batch int, h BatchHook) float64 {
+func EvaluateHooked(net Forwarder, ds *data.Dataset, batch int, h BatchHook) float64 {
 	if batch <= 0 {
 		batch = 64
 	}

@@ -101,3 +101,37 @@ func TestWarmEvalForwardAllocs(t *testing.T) {
 		t.Fatalf("warm eval forward allocates %.1f/op, want 0", avg)
 	}
 }
+
+// TestQuantizedInferWarmAllocs pins the int8 inference path: once the
+// per-layer int8 scratch (xq, patches, int32 accumulators) and float
+// workspaces are warm, a quantized forward must not allocate — the
+// quantized serve hot path depends on this.
+func TestQuantizedInferWarmAllocs(t *testing.T) {
+	prev := tensor.SetWorkers(1)
+	defer tensor.SetWorkers(prev)
+
+	rng := tensor.NewRNG(11)
+	net := NewNetwork(
+		NewConv2D("c1", 3, 8, 3, 3, 1, 1, true, rng),
+		NewBatchNorm2D("bn1", 8),
+		NewReLU(),
+		NewBasicBlock("b1", 8, 16, 2, rng),
+		NewGlobalAvgPool2D(),
+		NewFlatten(),
+		NewLinear("fc", 16, 10, rng),
+	)
+	calib := tensor.New(4, 3, 12, 12)
+	tensor.FillNormal(calib, rng, 0, 1)
+	q, err := QuantizeNetwork(net, []*tensor.Tensor{calib})
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := tensor.New(4, 3, 12, 12)
+	tensor.FillNormal(x, rng, 0, 1)
+	for i := 0; i < 3; i++ {
+		q.Forward(x, false)
+	}
+	if avg := testing.AllocsPerRun(30, func() { q.Forward(x, false) }); avg > 0 {
+		t.Fatalf("warm quantized forward allocates %.1f/op, want 0", avg)
+	}
+}

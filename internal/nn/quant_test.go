@@ -1,0 +1,187 @@
+package nn
+
+import (
+	"math"
+	"testing"
+
+	"github.com/ftpim/ftpim/internal/tensor"
+)
+
+// quantTestNet builds a small network covering every layer kind the
+// quantizer maps (conv, bn, relu, residual block with option-A
+// shortcut, dropout, pool, flatten, linear), runs a few training
+// steps' worth of forwards so the batch-norm running statistics move
+// off their init values, and returns it with a calibration batch.
+func quantTestNet(t *testing.T, seed uint64) (*Network, *tensor.Tensor) {
+	t.Helper()
+	rng := tensor.NewRNG(seed)
+	net := NewNetwork(
+		NewConv2D("c1", 3, 8, 3, 3, 1, 1, true, rng),
+		NewBatchNorm2D("bn1", 8),
+		NewReLU(),
+		NewBasicBlock("b1", 8, 16, 2, rng),
+		NewDropout(0.1, rng),
+		NewGlobalAvgPool2D(),
+		NewFlatten(),
+		NewLinear("fc", 16, 10, rng),
+	)
+	warm := tensor.New(8, 3, 12, 12)
+	for i := 0; i < 4; i++ {
+		tensor.FillNormal(warm, rng, 0, 1)
+		net.Forward(warm, true) // move BN running stats
+	}
+	calib := tensor.New(16, 3, 12, 12)
+	tensor.FillNormal(calib, rng, 0, 1)
+	return net, calib
+}
+
+// TestQuantizedCloseToFloat checks the int8 forward tracks the float
+// forward within a few percent relative L2 error on the logits —
+// the per-network analogue of the <1pp accuracy acceptance bound.
+func TestQuantizedCloseToFloat(t *testing.T) {
+	net, calib := quantTestNet(t, 41)
+	q, err := QuantizeNetwork(net, []*tensor.Tensor{calib})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := tensor.NewRNG(5)
+	x := tensor.New(16, 3, 12, 12)
+	tensor.FillNormal(x, rng, 0, 1)
+
+	fOut := append([]float32(nil), net.Forward(x, false).Data()...)
+	qOut := q.Forward(x, false).Data()
+	if len(fOut) != len(qOut) {
+		t.Fatalf("output length mismatch: %d vs %d", len(fOut), len(qOut))
+	}
+	var num, den float64
+	for i := range fOut {
+		d := float64(fOut[i] - qOut[i])
+		num += d * d
+		den += float64(fOut[i]) * float64(fOut[i])
+	}
+	rel := math.Sqrt(num / den)
+	if rel > 0.05 {
+		t.Fatalf("quantized logits relative L2 error %.4f, want <= 0.05", rel)
+	}
+}
+
+// TestQuantizedDeterministic pins the quantized path's determinism
+// contract: int32 accumulation is associative, so the forward is
+// bitwise identical across repeated runs AND across worker counts —
+// no exact/fast tier split applies.
+func TestQuantizedDeterministic(t *testing.T) {
+	net, calib := quantTestNet(t, 42)
+	q, err := QuantizeNetwork(net, []*tensor.Tensor{calib})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := tensor.NewRNG(6)
+	x := tensor.New(8, 3, 12, 12)
+	tensor.FillNormal(x, rng, 0, 1)
+
+	var ref []float32
+	for _, workers := range []int{1, 2, 4, 1} { // trailing 1 = repeat-run check
+		prev := tensor.SetWorkers(workers)
+		out := q.Forward(x, false).Data()
+		tensor.SetWorkers(prev)
+		if ref == nil {
+			ref = append([]float32(nil), out...)
+			continue
+		}
+		for i, v := range out {
+			if v != ref[i] {
+				t.Fatalf("workers=%d: output[%d] = %v, want bitwise %v", workers, i, v, ref[i])
+			}
+		}
+	}
+}
+
+// TestQuantizeNetworkRepeatable: quantizing the same float network
+// twice yields bitwise-identical planes, scales, and outputs.
+func TestQuantizeNetworkRepeatable(t *testing.T) {
+	net, calib := quantTestNet(t, 43)
+	q1, err := QuantizeNetwork(net, []*tensor.Tensor{calib})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q2, err := QuantizeNetwork(net, []*tensor.Tensor{calib})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := tensor.NewRNG(7)
+	x := tensor.New(4, 3, 12, 12)
+	tensor.FillNormal(x, rng, 0, 1)
+	o1 := q1.Forward(x, false).Data()
+	o2 := q2.Forward(x, false).Data()
+	for i, v := range o1 {
+		if v != o2[i] {
+			t.Fatalf("re-quantized output[%d] = %v, want bitwise %v", i, o2[i], v)
+		}
+	}
+}
+
+// TestQuantizedCloneSharesWeightsIndependentScratch: a clone must
+// alias the immutable int8 planes (that is the zero-copy contract the
+// FTPM loader relies on) while producing bitwise-identical outputs
+// from its own scratch.
+func TestQuantizedCloneSharesWeightsIndependentScratch(t *testing.T) {
+	net, calib := quantTestNet(t, 44)
+	q, err := QuantizeNetwork(net, []*tensor.Tensor{calib})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := q.Clone()
+
+	qc, ok := q.Layers[0].(*QConv2D)
+	if !ok {
+		t.Fatalf("layer 0 is %T, want *QConv2D", q.Layers[0])
+	}
+	cc := c.Layers[0].(*QConv2D)
+	if &qc.WQ[0] != &cc.WQ[0] || &qc.WScale[0] != &cc.WScale[0] {
+		t.Fatal("clone copied weight planes; they must be shared")
+	}
+
+	rng := tensor.NewRNG(8)
+	x := tensor.New(4, 3, 12, 12)
+	tensor.FillNormal(x, rng, 0, 1)
+	o1 := append([]float32(nil), q.Forward(x, false).Data()...)
+
+	// Run the clone on a different batch first: if scratch were
+	// shared, this would clobber the original's buffers mid-flight.
+	y := tensor.New(4, 3, 12, 12)
+	tensor.FillNormal(y, rng, 0, 1)
+	c.Forward(y, false)
+	o2 := c.Forward(x, false).Data()
+	for i, v := range o1 {
+		if v != o2[i] {
+			t.Fatalf("clone output[%d] = %v, want bitwise %v", i, o2[i], v)
+		}
+	}
+}
+
+// TestQuantizedNetworkTrainPanics: the quantized path has no training
+// mode; asking for one is a programming error, not a silent fallback.
+func TestQuantizedNetworkTrainPanics(t *testing.T) {
+	net, calib := quantTestNet(t, 45)
+	q, err := QuantizeNetwork(net, []*tensor.Tensor{calib})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Forward(train=true) did not panic")
+		}
+	}()
+	q.Forward(calib, true)
+}
+
+// TestQuantizeNetworkErrors covers the argument contract.
+func TestQuantizeNetworkErrors(t *testing.T) {
+	if _, err := QuantizeNetwork(nil, nil); err == nil {
+		t.Fatal("nil network accepted")
+	}
+	net, _ := quantTestNet(t, 46)
+	if _, err := QuantizeNetwork(net, nil); err == nil {
+		t.Fatal("empty calibration set accepted")
+	}
+}

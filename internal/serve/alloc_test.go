@@ -54,3 +54,41 @@ func TestWarmServeBatchAllocs(t *testing.T) {
 		t.Fatalf("warm serve batch allocates %.1f/op, budget is 0", avg)
 	}
 }
+
+// TestWarmQuantizedServeBatchAllocs pins the same zero-alloc
+// guarantee for the int8 serving lane: once the quantized clone's
+// scratch buffers are grown for the batch size, runBatch must stay
+// off the heap.
+func TestWarmQuantizedServeBatchAllocs(t *testing.T) {
+	prev := tensor.SetWorkers(1)
+	defer tensor.SetWorkers(prev)
+
+	_, q, test := quantFixture(t)
+	s, err := New(nil, test, Config{Quantized: q, MaxBatch: 8, Executors: 1})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	t.Cleanup(s.Drain)
+	img := testImage(test)
+
+	const bs = 8
+	reqs := make([]*inferReq, bs)
+	for i := range reqs {
+		reqs[i] = &inferReq{
+			img:    img,
+			scores: make([]float32, s.classes),
+			enq:    time.Now(),
+		}
+	}
+	exec := <-s.execs
+	defer func() { s.execs <- exec }()
+
+	step := func() { s.runBatch(exec, reqs) }
+	for i := 0; i < 10; i++ {
+		step()
+	}
+	runtime.GC()
+	if avg := testing.AllocsPerRun(50, step); avg > 0 {
+		t.Fatalf("warm quantized serve batch allocates %.1f/op, budget is 0", avg)
+	}
+}

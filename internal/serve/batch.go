@@ -4,6 +4,7 @@ import (
 	"time"
 
 	"github.com/ftpim/ftpim/internal/core"
+	"github.com/ftpim/ftpim/internal/nn"
 	"github.com/ftpim/ftpim/internal/obs"
 	"github.com/ftpim/ftpim/internal/tensor"
 )
@@ -22,20 +23,26 @@ type inferReq struct {
 }
 
 // executor is one batch-execution lane: a warm network clone from the
-// shared pool plus a reusable batch buffer. Executors live for the
-// server's lifetime, so after the first few batches the forward pass
-// runs entirely on warm workspaces.
+// shared pool (or, when the server is quantized, a quantized-network
+// clone sharing the immutable int8 planes) plus a reusable batch
+// buffer. Executors live for the server's lifetime, so after the
+// first few batches the forward pass runs entirely on warm
+// workspaces.
 type executor struct {
 	entry *core.CloneEntry
-	buf   []float32 // MaxBatch·stride staging area
+	qnet  *nn.QuantizedNetwork // int8 lane; when set, runBatch uses it
+	buf   []float32            // MaxBatch·stride staging area
 	x     tensor.Tensor
 }
 
 func (s *Server) newExecutor() *executor {
-	return &executor{
-		entry: s.pool.Get(),
-		buf:   make([]float32, s.cfg.MaxBatch*s.stride),
+	e := &executor{buf: make([]float32, s.cfg.MaxBatch*s.stride)}
+	if s.qsrc != nil {
+		e.qnet = s.qsrc.Clone()
+	} else {
+		e.entry = s.pool.Get()
 	}
+	return e
 }
 
 // batcher coalesces queued infer requests into micro-batches: the
@@ -168,7 +175,12 @@ func (s *Server) runBatch(e *executor, reqs []*inferReq) {
 		copy(e.buf[i*s.stride:(i+1)*s.stride], r.img)
 	}
 	e.x.SetView(e.buf[:bs*s.stride], bs, s.c, s.h, s.w)
-	out := e.entry.Net.Forward(&e.x, false)
+	var out *tensor.Tensor
+	if e.qnet != nil {
+		out = e.qnet.Forward(&e.x, false)
+	} else {
+		out = e.entry.Net.Forward(&e.x, false)
+	}
 	od := out.Data()
 	for i, r := range reqs {
 		r.class = out.ArgMaxRow(i)

@@ -178,6 +178,13 @@ type HealthResponse struct {
 	// fleet can reject instances whose tier differs from their own.
 	Numerics string `json:"numerics"`
 	CPU      string `json:"cpu_features,omitempty"`
+	// ModelFormat names the weight source ("gob-cache" or "ftpm-v1")
+	// and Quantized whether /v1/infer runs the int8 path. The int8
+	// path is bit-deterministic at every worker count and numerics
+	// tier, so fleet byte-identity checks can skip the Numerics
+	// comparison on quantized instances.
+	ModelFormat string `json:"model_format"`
+	Quantized   bool   `json:"quantized"`
 }
 
 // ErrorResponse is the envelope every non-2xx response carries.
@@ -201,6 +208,7 @@ const (
 	CodeOverloaded       = "overloaded"
 	CodeDraining         = "draining"
 	CodeCanceled         = "canceled"
+	CodeUnsupported      = "unsupported"
 )
 
 // Handler returns the service's HTTP handler.
@@ -409,6 +417,13 @@ func (s *Server) validateEval(w http.ResponseWriter, p evalRequestParams) (core.
 // status means the request was rejected and the response written;
 // otherwise the caller must invoke the returned release func.
 func (s *Server) acquireEval(w http.ResponseWriter) (func(), int) {
+	if s.pool == nil {
+		// Quantized-only instance: fault injection mutates float weight
+		// planes, which this server doesn't have (its int8 planes may
+		// alias a read-only mmap).
+		return nil, s.writeError(w, http.StatusNotImplemented, CodeUnsupported,
+			"defect evaluation requires the float model; this instance serves a quantized model only")
+	}
 	if s.draining.Load() {
 		return nil, s.writeError(w, http.StatusServiceUnavailable, CodeDraining, "server is draining")
 	}
@@ -496,6 +511,8 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) int {
 		Accepted:      s.accepted.Load(),
 		Numerics:      tensor.ActiveNumerics().String(),
 		CPU:           tensor.CPUFeatures(),
+		ModelFormat:   s.cfg.ModelFormat,
+		Quantized:     s.qsrc != nil,
 	}
 	if s.draining.Load() {
 		h.Status = "draining"

@@ -104,6 +104,18 @@ type Config struct {
 	// client asked for, and slow writers are already bounded by the
 	// kernel's send buffer plus IdleTimeout.
 	IdleTimeout time.Duration
+	// Quantized, when set, serves /v1/infer from this int8 network:
+	// every executor gets a Clone (immutable weight planes shared, so
+	// replicas add scratch memory only). The float model stays the
+	// substrate for defect-eval and stability — fault injection mutates
+	// weight planes, which the quantized path's planes (possibly
+	// aliasing a read-only mmap) must never be. A nil float model is
+	// allowed when Quantized is set; the Monte-Carlo endpoints then
+	// answer 501 unsupported.
+	Quantized *nn.QuantizedNetwork
+	// ModelFormat names the weight source for /v1/healthz and version
+	// reporting ("" → "gob-cache"; the FTPM loader passes "ftpm-v1").
+	ModelFormat string
 	// Eval supplies the defaults for defect-eval and stability
 	// requests: Workers, eval batch size, fault scenario, and the
 	// seed/runs used when the request omits them. Normalized on New.
@@ -149,6 +161,9 @@ func (c Config) Normalize() Config {
 	if c.IdleTimeout <= 0 {
 		c.IdleTimeout = 2 * time.Minute
 	}
+	if c.ModelFormat == "" {
+		c.ModelFormat = "gob-cache"
+	}
 	c.Eval = c.Eval.Normalize()
 	c.Sink = obs.Or(c.Sink)
 	return c
@@ -159,6 +174,7 @@ func (c Config) Normalize() Config {
 type Server struct {
 	cfg     Config
 	src     *nn.Network
+	qsrc    *nn.QuantizedNetwork
 	test    *data.Dataset
 	c, h, w int
 	classes int
@@ -208,9 +224,12 @@ func (s *Server) cleanAcc() float64 {
 // New creates a Server for the given trained network and evaluation
 // dataset (the split defect-eval requests measure accuracy on). The
 // network is deep-cloned for every executor; the original is never
-// mutated by the server.
+// mutated by the server. model may be nil when cfg.Quantized is set
+// (pure quantized serving, e.g. from an mmap'd FTPM file); the
+// Monte-Carlo endpoints then answer 501, since fault injection needs
+// mutable float planes.
 func New(model *nn.Network, test *data.Dataset, cfg Config) (*Server, error) {
-	if model == nil {
+	if model == nil && cfg.Quantized == nil {
 		return nil, fmt.Errorf("serve: nil model")
 	}
 	if test == nil || test.N() == 0 {
@@ -218,18 +237,29 @@ func New(model *nn.Network, test *data.Dataset, cfg Config) (*Server, error) {
 	}
 	cfg = cfg.Normalize()
 	c, h, w := test.Dims()
+	params := 0
+	if model != nil {
+		params = model.NumParams()
+	} else {
+		params = cfg.Quantized.NumParams()
+	}
+	var pool *core.ClonePool
+	if model != nil {
+		pool = core.NewClonePool(model, cfg.Eval.Scenario)
+	}
 	s := &Server{
 		cfg:     cfg,
 		src:     model,
+		qsrc:    cfg.Quantized,
 		test:    test,
 		c:       c,
 		h:       h,
 		w:       w,
 		classes: test.Classes,
 		stride:  c * h * w,
-		params:  model.NumParams(),
+		params:  params,
 		sink:    cfg.Sink,
-		pool:    core.NewClonePool(model, cfg.Eval.Scenario),
+		pool:    pool,
 		queue:   make(chan *inferReq, cfg.QueueDepth),
 		execs:   make(chan *executor, cfg.Executors),
 		evals:   make(chan struct{}, cfg.EvalConcurrency),

@@ -126,6 +126,26 @@ func TestFastTierWarmAllocs(t *testing.T) {
 	})
 }
 
+// TestGemmS8TBWarmAllocs: the int8 GEMM needs no packing, so it is
+// allocation-free from the first call on both tiers.
+func TestGemmS8TBWarmAllocs(t *testing.T) {
+	withWorkers(1, func() {
+		m, k, n := 64, 144, 16
+		a := randS8(1, m*k)
+		b := randS8(2, n*k)
+		dst := make([]int32, m*n)
+		if avg := testing.AllocsPerRun(50, func() { GemmS8TB(dst, a, b, m, k, n) }); avg > 0 {
+			t.Fatalf("GemmS8TB allocates %.1f/op, want 0", avg)
+		}
+		if FastSupported() {
+			defer SetNumerics(SetNumerics(NumericsFast))
+			if avg := testing.AllocsPerRun(50, func() { GemmS8TB(dst, a, b, m, k, n) }); avg > 0 {
+				t.Fatalf("fast GemmS8TB allocates %.1f/op, want 0", avg)
+			}
+		}
+	})
+}
+
 func TestMatVecIntoWarmAllocs(t *testing.T) {
 	a := New(20, 30)
 	FillNormal(a, NewRNG(6), 0, 1)

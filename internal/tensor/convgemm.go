@@ -29,6 +29,14 @@ package tensor
 // convgemm_test.go pins this against the materialized composition as
 // the bitwise oracle across a shape grid, a fuzz target, and several
 // worker counts.
+//
+// One carve-out: the fast tier's dW stage (convSampleDWAxpy in
+// gemm_fast.go) batches rank-1 axpy updates instead of running dot
+// products, which changes each chunk element's rounding order. It is
+// therefore ULP-pinned against the exact oracle like every other
+// fast-tier kernel — not bitwise — while remaining bit-deterministic
+// and worker-invariant within the fast tier. The exact tier and the
+// dX stage keep the full bitwise contract on both tiers.
 
 // Im2ColPanels lowers a whole NCHW batch into the packed column-panel
 // layout the blocked GEMM kernels consume: the conceptual
@@ -318,29 +326,80 @@ func convBackwardSamples(dX, dwChunks, wd, src, dY []float32, c, h, w, outC, kh,
 	chw := c * h * w
 	outStride := outC * outArea
 	fast := kh == 1 && kw == 1 && stride == 1 && pad == 0
-	// Scratch: 4 generated column rows for the dW quads + a k-row
-	// dcol block for dX, all from one pooled panel.
-	buf := getPanel(4*outArea + k*outArea)
+	vec := useFast()
+	// Scratch: 4 generated column rows for the exact-tier dW quads, 4
+	// gathered patch rows for the fast-tier axpy dW, and a k-row dcol
+	// block for dX, all from one pooled panel.
+	buf := getPanel(4*outArea + 4*k + k*outArea)
 	gen := buf.f[:4*outArea]
-	sb := buf.f[4*outArea:]
+	patches := buf.f[4*outArea : 4*outArea+4*k]
+	sb := buf.f[4*outArea+4*k:]
+	// Fast-tier dW dispatch is by shape: the axpy batching streams
+	// rank-1 updates over k-length chunk rows, which wins when the dot
+	// kernels would pay a horizontal reduction per element over short
+	// outArea-length vectors (deep layers, k >= outArea) and loses to
+	// chunk-row load/store traffic when outArea dominates (early
+	// layers). The predicate depends only on the layer shape, never on
+	// data or worker count, so results stay deterministic.
+	axpy := vec && k >= outArea
 	for i := lo; i < hi; i++ {
 		srci := src[i*chw : (i+1)*chw]
 		dyi := dY[i*outStride : (i+1)*outStride]
-		convSampleDW(dwChunks[i*outC*k:(i+1)*outC*k], srci, dyi, gen,
-			c, h, w, outC, kh, kw, stride, pad, outH, outW, fast)
+		if axpy {
+			convSampleDWAxpy(dwChunks[i*outC*k:(i+1)*outC*k], srci, dyi, patches,
+				c, h, w, outC, kh, kw, stride, pad, outH, outW, fast)
+		} else {
+			convSampleDW(dwChunks[i*outC*k:(i+1)*outC*k], srci, dyi, gen,
+				c, h, w, outC, kh, kw, stride, pad, outH, outW, fast, vec)
+		}
 		convSampleDX(dX[i*chw:(i+1)*chw], wd, dyi, sb,
 			c, h, w, outC, kh, kw, stride, pad, outH, outW, fast)
 	}
 	panelPool.Put(buf)
 }
 
+// im2rowPatch gathers the receptive field of output position (oy, ox)
+// as one contiguous k-length row (c·kh·kw, channel-major), with
+// out-of-bounds taps written as exact 0 — one row of the patch-major
+// (im2row) layout, the transpose of im2colRow's column order.
+func im2rowPatch(dst, src []float32, c, h, w, kh, kw, stride, pad, oy, ox int) {
+	d := 0
+	for ci := 0; ci < c; ci++ {
+		plane := src[ci*h*w : (ci+1)*h*w]
+		for ky := 0; ky < kh; ky++ {
+			iy := oy*stride - pad + ky
+			if iy < 0 || iy >= h {
+				for kx := 0; kx < kw; kx++ {
+					dst[d] = 0
+					d++
+				}
+				continue
+			}
+			base := iy * w
+			ix := ox*stride - pad
+			for kx := 0; kx < kw; kx++ {
+				if x := ix + kx; x >= 0 && x < w {
+					dst[d] = plane[base+x]
+				} else {
+					dst[d] = 0
+				}
+				d++
+			}
+		}
+	}
+}
+
 // convSampleDW computes one sample's weight-gradient chunk
-// dY_i · col_iᵀ with column rows generated on demand. The dot-product
-// bodies are exactly gemmTBRows' 1×4 and single-column tiles, reordered
-// column-quad-outer so each generated row quad is reused across every
-// output row — a reordering across output elements only, so each
-// element's accumulation sequence is unchanged.
-func convSampleDW(chunk, srci, dyi, gen []float32, c, h, w, outC, kh, kw, stride, pad, outH, outW int, fast bool) {
+// dY_i · col_iᵀ with column rows generated on demand — the dot-form
+// kernel (fast-tier deep shapes with k >= outArea run convSampleDWAxpy
+// instead; see convBackwardSamples). The dot-product bodies are
+// exactly gemmTBRows' 1×4 and single-column tiles (fastDot4/fastDot on
+// the fast tier — the same microkernels the fast GemmTB runs, keeping
+// this form bit-identical to the composed oracle within either tier),
+// reordered column-quad-outer so each generated row quad is reused
+// across every output row — a reordering across output elements only,
+// so each element's accumulation sequence is unchanged.
+func convSampleDW(chunk, srci, dyi, gen []float32, c, h, w, outC, kh, kw, stride, pad, outH, outW int, fast, vec bool) {
 	outArea := outH * outW
 	k := c * kh * kw
 	kk := kh * kw
@@ -355,7 +414,6 @@ func convSampleDW(chunk, srci, dyi, gen []float32, c, h, w, outC, kh, kw, stride
 		im2colRow(d, srci, ch*h*w, ky, kx, h, w, outH, outW, stride, pad)
 		return d
 	}
-	vec := useFast()
 	j := 0
 	for ; j+4 <= k; j += 4 {
 		b0 := colRow(j, 0)
@@ -365,8 +423,6 @@ func convSampleDW(chunk, srci, dyi, gen []float32, c, h, w, outC, kh, kw, stride
 		for oc := 0; oc < outC; oc++ {
 			arow := dyi[oc*outArea : (oc+1)*outArea]
 			if vec {
-				// Fast tier: the same 1×4 dot microkernel the fast
-				// GemmTB path runs per element.
 				chunk[oc*k+j], chunk[oc*k+j+1], chunk[oc*k+j+2], chunk[oc*k+j+3] =
 					fastDot4(arow, b0, b1, b2, b3)
 				continue

@@ -2,6 +2,7 @@ package tensor
 
 import (
 	"fmt"
+	"math"
 	"testing"
 )
 
@@ -121,6 +122,51 @@ func (s convShape) String() string {
 		s.n, s.c, s.h, s.w, s.outC, s.kh, s.kw, s.stride, s.pad)
 }
 
+// convDWMags computes the per-element magnitude sums Σ|dy·col| of the
+// weight gradient in float64 — the conditioning reference for the
+// fast-tier dW error bound (the axpy-batched fast dW accumulates in a
+// different order than the composed GemmTB, so under the fast tier dW
+// is ULP/error-bounded against the oracle instead of bitwise).
+func convDWMags(src, dY []float32, s convShape) []float64 {
+	outH := ConvOutSize(s.h, s.kh, s.stride, s.pad)
+	outW := ConvOutSize(s.w, s.kw, s.stride, s.pad)
+	outArea := outH * outW
+	k := s.c * s.kh * s.kw
+	chw := s.c * s.h * s.w
+	col := make([]float32, k*outArea)
+	mags := make([]float64, s.outC*k)
+	for i := 0; i < s.n; i++ {
+		Im2Col(src[i*chw:(i+1)*chw], s.c, s.h, s.w, s.kh, s.kw, s.stride, s.pad, col)
+		dyi := dY[i*s.outC*outArea : (i+1)*s.outC*outArea]
+		for oc := 0; oc < s.outC; oc++ {
+			for r := 0; r < k; r++ {
+				var m float64
+				for p := 0; p < outArea; p++ {
+					m += math.Abs(float64(dyi[oc*outArea+p])) * math.Abs(float64(col[r*outArea+p]))
+				}
+				mags[oc*k+r] += m
+			}
+		}
+	}
+	return mags
+}
+
+// checkConvDW compares a fused dW against the oracle: bitwise on the
+// exact tier, ULP/error-bounded on the fast tier (see convDWMags).
+func checkConvDW(t *testing.T, want, got, src, dY []float32, s convShape) {
+	t.Helper()
+	if ActiveNumerics() == NumericsExact {
+		for i := range want {
+			if math.Float32bits(got[i]) != math.Float32bits(want[i]) {
+				t.Fatalf("fused dW differs from GemmTB oracle at %d: %v vs %v", i, got[i], want[i])
+			}
+		}
+		return
+	}
+	outArea := ConvOutSize(s.h, s.kh, s.stride, s.pad) * ConvOutSize(s.w, s.kw, s.stride, s.pad)
+	checkFastVsExact(t, "convDW", want, got, convDWMags(src, dY, s), s.n*outArea)
+}
+
 func TestConvGemmForwardMatchesOracleBitwise(t *testing.T) {
 	for _, s := range convShapes {
 		t.Run(s.String(), func(t *testing.T) {
@@ -163,9 +209,7 @@ func TestConvGemmBackwardMatchesOracleBitwise(t *testing.T) {
 							dW[j] += v
 						}
 					}
-					if !FromSlice(dW, s.outC, k).Equal(FromSlice(wantDW, s.outC, k)) {
-						t.Fatalf("workers=%d: fused dW differs from GemmTB oracle", w)
-					}
+					checkConvDW(t, wantDW, dW, src, dY, s)
 					if !FromSlice(dX, s.n, s.c*s.h*s.w).Equal(FromSlice(wantDX, s.n, s.c*s.h*s.w)) {
 						t.Fatalf("workers=%d: fused dX differs from GemmTA+Col2Im oracle", w)
 					}
@@ -247,9 +291,7 @@ func TestConv1x1FastPathMatchesGeneralPath(t *testing.T) {
 			dW[j] += v
 		}
 	}
-	if !FromSlice(dW, s.outC, s.c).Equal(FromSlice(wantDW, s.outC, s.c)) {
-		t.Fatalf("1x1 fast backward dW differs from oracle")
-	}
+	checkConvDW(t, wantDW, dW, src, dY, s)
 	if !FromSlice(dX, s.n, s.c*area).Equal(FromSlice(wantDX, s.n, s.c*area)) {
 		t.Fatalf("1x1 fast backward dX differs from oracle")
 	}
@@ -299,11 +341,7 @@ func FuzzConvGemmOracle(f *testing.F) {
 				dW[j] += v
 			}
 		}
-		for i := range dW {
-			if dW[i] != wantDW[i] {
-				t.Fatalf("dW mismatch at %d for %v seed %d", i, s, seed)
-			}
-		}
+		checkConvDW(t, wantDW, dW, src, dY, s)
 		for i := range dX {
 			if dX[i] != wantDX[i] {
 				t.Fatalf("dX mismatch at %d for %v seed %d", i, s, seed)
@@ -315,9 +353,10 @@ func FuzzConvGemmOracle(f *testing.F) {
 // benchConvShape/benchConvShape12: the paper's 32×32 input shape and
 // the repro-scale 12×12 shape used by the training loop benches.
 var (
-	benchConv32  = convShape{16, 16, 32, 32, 16, 3, 3, 1, 1}
-	benchConv12  = convShape{32, 4, 12, 12, 4, 3, 3, 1, 1}
-	benchConv1x1 = convShape{16, 32, 16, 16, 32, 1, 1, 1, 0}
+	benchConv32   = convShape{16, 16, 32, 32, 16, 3, 3, 1, 1}
+	benchConv12   = convShape{32, 4, 12, 12, 4, 3, 3, 1, 1}
+	benchConv1x1  = convShape{16, 32, 16, 16, 32, 1, 1, 1, 0}
+	benchConvDeep = convShape{16, 64, 8, 8, 64, 3, 3, 1, 1}
 )
 
 func benchConvFwd(b *testing.B, s convShape, fused bool) {
@@ -358,7 +397,22 @@ func refConvForward2(dst, wd, src []float32, s convShape) {
 }
 
 func benchConvBwd(b *testing.B, s convShape, fused bool) {
+	benchConvBwdSparsity(b, s, fused, 0)
+}
+
+// benchConvBwdSparsity optionally zeroes a fraction of dY before
+// timing — the training regime, where ReLU backprop leaves dY roughly
+// half zeros and the fast-tier axpy dW kernel skips whole zero quads.
+func benchConvBwdSparsity(b *testing.B, s convShape, fused bool, zeroFrac float64) {
 	wd, src, dY := convOracleData(1, s)
+	if zeroFrac > 0 {
+		r := NewRNG(7)
+		for i := range dY {
+			if r.Float64() < zeroFrac {
+				dY[i] = 0
+			}
+		}
+	}
 	k := s.c * s.kh * s.kw
 	chw := s.c * s.h * s.w
 	dX := make([]float32, s.n*chw)
@@ -405,6 +459,18 @@ func BenchmarkConvFwdFused12(b *testing.B) { benchConvFwd(b, benchConv12, true) 
 func BenchmarkConvFwdRef12(b *testing.B)   { benchConvFwd(b, benchConv12, false) }
 func BenchmarkConvBwdFused12(b *testing.B) { benchConvBwd(b, benchConv12, true) }
 func BenchmarkConvBwdRef12(b *testing.B)   { benchConvBwd(b, benchConv12, false) }
+
+// The sparse pair times backward with 60% of dY zeroed — the ReLU
+// backprop regime the axpy dW kernel's quad skip targets.
+func BenchmarkConvBwdFusedSparse32(b *testing.B) { benchConvBwdSparsity(b, benchConv32, true, 0.6) }
+func BenchmarkConvBwdRefSparse32(b *testing.B)   { benchConvBwdSparsity(b, benchConv32, false, 0.6) }
+
+// The deep pair is a late-stage ResNet shape (k=576 ≫ outArea=64),
+// where dW dominates backward and the dot kernels' per-element
+// horizontal reductions over short outArea-length vectors are the
+// bottleneck the axpy batching removes.
+func BenchmarkConvBwdFusedDeep(b *testing.B) { benchConvBwd(b, benchConvDeep, true) }
+func BenchmarkConvBwdRefDeep(b *testing.B)   { benchConvBwd(b, benchConvDeep, false) }
 
 // The pointwise pair exercises the zero-copy 1×1 fast path, where the
 // fused forward reads src as the column matrix and packs nothing, and

@@ -8,11 +8,16 @@ package tensor
 // the widest multiple of 8 of each span and Go code finishes the
 // scalar tail, so any shape runs on either tier.
 //
-// Fused conv and composed GEMM stay bit-identical to each other
-// *within* the fast tier for the same reason they do in the exact
-// tier: both feed identical per-element operand sequences to the same
-// kernels (fastTile1 / fastDot4 / fastDot), and panel addressing only
-// changes where values live, not which operations run.
+// Fused conv forward/dX and composed GEMM stay bit-identical to each
+// other *within* the fast tier for the same reason they do in the
+// exact tier: both feed identical per-element operand sequences to the
+// same kernels (fastTile1 / fastDot4 / fastDot), and panel addressing
+// only changes where values live, not which operations run. The one
+// exception is conv dW (convSampleDWAxpy below), which batches rank-1
+// axpy updates instead of running the composed GemmTB's dot products —
+// a different per-element rounding order, so fast-tier dW is ULP-pinned
+// against the exact oracle like any other fast kernel while staying
+// bit-deterministic and worker-invariant within the tier.
 
 //go:noescape
 func axpy4FMA(dst, b0, b1, b2, b3 *float32, a0, a1, a2, a3 float32, n int)
@@ -143,6 +148,79 @@ func fastGemmTASerial(dst, a, b []float32, k, m, n int) {
 	fastGemmTAPanel(dst, a, pb, k, m, n, 0, m)
 	if buf != nil {
 		panelPool.Put(buf)
+	}
+}
+
+// convSampleDWAxpy is the fast-tier dW kernel (ROADMAP item 3's axpy
+// batching): instead of one dot product per chunk element over
+// outArea-length vectors — which regenerates or reloads every column
+// row once per output channel — it walks output positions and streams
+// rank-1 updates chunk[oc,:] += dy[oc,p]·patch[p,:] through the axpy
+// microkernels, so each gathered k-length patch row is reused across
+// all outC chunk rows. Four positions are batched per axpy4FMA call; a
+// quad whose four dy coefficients are all zero is skipped (ReLU
+// backprop zeros), mirroring fastTile1's sparsity win. Each chunk
+// element accumulates in ascending p with 4-term FMA groups — a fixed
+// sequence for a fixed shape, so the result is bit-deterministic and
+// (the per-sample batch shard being the parallel unit) worker-count
+// invariant, but differently rounded than the exact tier's dot kernel:
+// dW is ULP-pinned against the exact oracle, not bitwise.
+func convSampleDWAxpy(chunk, srci, dyi, patches []float32, c, h, w, outC, kh, kw, stride, pad, outH, outW int, fast1x1 bool) {
+	outArea := outH * outW
+	k := c * kh * kw
+	for x := range chunk[:outC*k] {
+		chunk[x] = 0
+	}
+	wq := k &^ 7
+	gather := func(p, slot int) []float32 {
+		d := patches[slot*k : (slot+1)*k]
+		if fast1x1 {
+			// 1×1/stride-1/pad-0: the patch row is column p of the
+			// c×outArea input plane.
+			for ci := 0; ci < c; ci++ {
+				d[ci] = srci[ci*outArea+p]
+			}
+			return d
+		}
+		im2rowPatch(d, srci, c, h, w, kh, kw, stride, pad, p/outW, p%outW)
+		return d
+	}
+	p := 0
+	for ; p+4 <= outArea; p += 4 {
+		b0 := gather(p, 0)
+		b1 := gather(p+1, 1)
+		b2 := gather(p+2, 2)
+		b3 := gather(p+3, 3)
+		for oc := 0; oc < outC; oc++ {
+			a0, a1 := dyi[oc*outArea+p], dyi[oc*outArea+p+1]
+			a2, a3 := dyi[oc*outArea+p+2], dyi[oc*outArea+p+3]
+			if a0 == 0 && a1 == 0 && a2 == 0 && a3 == 0 {
+				continue
+			}
+			crow := chunk[oc*k : oc*k+k]
+			if wq > 0 {
+				axpy4FMA(&crow[0], &b0[0], &b1[0], &b2[0], &b3[0], a0, a1, a2, a3, wq)
+			}
+			for x := wq; x < k; x++ {
+				crow[x] += a0*b0[x] + a1*b1[x] + a2*b2[x] + a3*b3[x]
+			}
+		}
+	}
+	for ; p < outArea; p++ {
+		b0 := gather(p, 0)
+		for oc := 0; oc < outC; oc++ {
+			av := dyi[oc*outArea+p]
+			if av == 0 {
+				continue
+			}
+			crow := chunk[oc*k : oc*k+k]
+			if wq > 0 {
+				axpyFMA(&crow[0], &b0[0], av, wq)
+			}
+			for x := wq; x < k; x++ {
+				crow[x] += av * b0[x]
+			}
+		}
 	}
 }
 

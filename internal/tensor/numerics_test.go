@@ -315,6 +315,64 @@ func TestConvFastTierMatchesComposition(t *testing.T) {
 	}
 }
 
+// TestConvFastDWAxpyPinned: the axpy-batched fast-tier dW is (1)
+// bit-deterministic and worker-invariant within the fast tier, and (2)
+// ULP/error-bounded against the exact-tier oracle. It no longer claims
+// bit-identity with the composed GemmTB — the axpy batching reorders
+// each element's accumulation (see convSampleDWAxpy).
+func TestConvFastDWAxpyPinned(t *testing.T) {
+	requireFast(t)
+	// k = 16·3·3 = 144 ≥ outArea = 64, so this shape takes the axpy
+	// dispatch branch in convBackwardSamples.
+	s := convShape{6, 16, 8, 8, 5, 3, 3, 1, 1}
+	wd, src, dY := convOracleData(0xD27A, s)
+	k := s.c * s.kh * s.kw
+	wlen := s.outC * k
+	outArea := ConvOutSize(s.h, s.kh, s.stride, s.pad) * ConvOutSize(s.w, s.kw, s.stride, s.pad)
+
+	runBwd := func() []float32 {
+		dX := make([]float32, s.n*s.c*s.h*s.w)
+		chunks := make([]float32, s.n*wlen)
+		ConvGemmBackward(dX, chunks, wd, src, dY, s.n, s.c, s.h, s.w, s.outC, s.kh, s.kw, s.stride, s.pad)
+		dW := make([]float32, wlen)
+		for i := 0; i < s.n; i++ {
+			for j, v := range chunks[i*wlen : (i+1)*wlen] {
+				dW[j] += v
+			}
+		}
+		return dW
+	}
+
+	var exactDW []float32
+	runTier(NumericsExact, func() { withWorkers(1, func() { exactDW = runBwd() }) })
+
+	runTier(NumericsFast, func() {
+		var ref []float32
+		for _, w := range []int{1, 2, 4} {
+			var got []float32
+			withWorkers(w, func() { got = runBwd() })
+			// Repeat at the same worker count: bit-determinism.
+			var again []float32
+			withWorkers(w, func() { again = runBwd() })
+			for i := range got {
+				if math.Float32bits(got[i]) != math.Float32bits(again[i]) {
+					t.Fatalf("fast dW not deterministic at workers=%d, element %d", w, i)
+				}
+			}
+			if ref == nil {
+				ref = got
+				continue
+			}
+			for i := range ref {
+				if math.Float32bits(ref[i]) != math.Float32bits(got[i]) {
+					t.Fatalf("fast dW differs between workers=1 and workers=%d at %d", w, i)
+				}
+			}
+		}
+		checkFastVsExact(t, "convDWAxpy", exactDW, ref, convDWMags(src, dY, s), s.n*outArea)
+	})
+}
+
 func TestParseNumerics(t *testing.T) {
 	for _, c := range []struct {
 		in   string
